@@ -1,0 +1,88 @@
+// E3 — Theorem 2 (distributed form): (1+ε)-approximate distance labels.
+//
+// Reports max/avg per-vertex label size in words and bits against the
+// O(k/ε · log n) claim, and verifies that label-only queries stay within
+// stretch 1+ε on sampled pairs. The fit line at the end regresses the
+// average label size on log2(n): the paper predicts a straight line.
+#include "common.hpp"
+
+#include "oracle/path_oracle.hpp"
+#include "oracle/serialize.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/rng.hpp"
+
+using namespace pathsep;
+using namespace pathsep::bench;
+
+namespace {
+
+struct Row {
+  std::size_t n;
+  double avg_words;
+};
+
+void run(util::TableWriter& table, std::vector<Row>* fit_rows,
+         Instance instance, double epsilon) {
+  const std::size_t n = instance.graph.num_vertices();
+  const hierarchy::DecompositionTree tree(instance.graph, *instance.finder);
+  const oracle::PathOracle oracle(tree, epsilon);
+
+  util::Rng rng(100 + n);
+  util::OnlineStats stretch;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.next_below(n));
+    Vertex v = static_cast<Vertex>(rng.next_below(n));
+    while (v == u) v = static_cast<Vertex>(rng.next_below(n));
+    const Weight est = oracle::query_labels(oracle.label(u), oracle.label(v));
+    const Weight truth = sssp::distance(instance.graph, u, v);
+    if (truth > 0) stretch.add(est / truth);
+  }
+
+  const double avg = oracle.average_label_words();
+  const std::size_t max_words = oracle.max_label_words();
+  // Honest wire cost: varint-encoded binary labels (oracle/serialize.hpp).
+  util::OnlineStats wire_bits;
+  for (Vertex v = 0; v < n; ++v)
+    wire_bits.add(static_cast<double>(serialized_bits(oracle.label(v))));
+  const double log2n = std::log2(static_cast<double>(n));
+  table.add_row({instance.family, util::strf("%zu", n),
+                 util::strf("%.2f", epsilon), util::strf("%.1f", avg),
+                 util::strf("%zu", max_words),
+                 util::strf("%.0f", wire_bits.mean()),
+                 util::strf("%.2f", avg / log2n),
+                 util::strf("%.4f", stretch.max())});
+  if (fit_rows) fit_rows->push_back({n, avg});
+}
+
+}  // namespace
+
+int main() {
+  section("E3", "(1+eps)-approximate distance labels (Thm 2)");
+  util::TableWriter table({"family", "n", "eps", "avg_words", "max_words",
+                           "avg_wire_bits", "words/log2n", "stretch_max"});
+
+  std::vector<Row> planar_rows;
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u})
+    run(table, &planar_rows, make_triangulation(n, 41 + n), 0.25);
+  for (std::size_t side : {16u, 32u, 64u, 128u})
+    run(table, nullptr, make_grid(side), 0.25);
+  for (std::size_t n : {512u, 2048u, 8192u})
+    run(table, nullptr, make_ktree(n, 3, 43 + n), 0.25);
+  for (double eps : {1.0, 0.5, 0.25, 0.1})
+    run(table, nullptr, make_triangulation(2048, 47), eps);
+  table.print(std::cout);
+
+  // Regression of avg label words on log2 n for the planar sweep.
+  std::vector<double> xs, ys;
+  for (const Row& row : planar_rows) {
+    xs.push_back(std::log2(static_cast<double>(row.n)));
+    ys.push_back(row.avg_words);
+  }
+  const util::LinearFit fit = util::fit_linear(xs, ys);
+  std::printf(
+      "\nplanar label size vs log2(n): words ~= %.2f + %.2f * log2(n) "
+      "(r2 = %.3f)\npaper: O(k/eps * log n) words per label -> linear in "
+      "log n with r2 near 1.\n",
+      fit.intercept, fit.slope, fit.r2);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark): query latency of the path-separator
+// oracle against baselines, and separator construction throughput. These
+// complement the table harnesses with distribution-free wall-clock numbers.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common.hpp"
+#include "oracle/exact_oracle.hpp"
+#include "oracle/path_oracle.hpp"
+#include "oracle/thorup_zwick.hpp"
+#include "util/rng.hpp"
+
+using namespace pathsep;
+using namespace pathsep::bench;
+
+namespace {
+
+struct Fixture {
+  Instance instance;
+  std::unique_ptr<hierarchy::DecompositionTree> tree;
+  std::unique_ptr<oracle::PathOracle> oracle;
+
+  explicit Fixture(std::size_t n) : instance(make_triangulation(n, 900 + n)) {
+    tree = std::make_unique<hierarchy::DecompositionTree>(instance.graph,
+                                                          *instance.finder);
+    oracle = std::make_unique<oracle::PathOracle>(*tree, 0.25);
+  }
+};
+
+Fixture& fixture(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<Fixture>> cache;
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<Fixture>(n);
+  return *slot;
+}
+
+void BM_PathOracleQuery(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = f.instance.graph.num_vertices();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::Vertex>(rng.next_below(n));
+    const auto v = static_cast<graph::Vertex>(rng.next_below(n));
+    benchmark::DoNotOptimize(f.oracle->query(u, v));
+  }
+}
+BENCHMARK(BM_PathOracleQuery)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_DijkstraQuery(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = f.instance.graph.num_vertices();
+  const oracle::DijkstraOracle oracle(f.instance.graph);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::Vertex>(rng.next_below(n));
+    const auto v = static_cast<graph::Vertex>(rng.next_below(n));
+    benchmark::DoNotOptimize(oracle.query(u, v));
+  }
+}
+BENCHMARK(BM_DijkstraQuery)->Arg(1024)->Arg(4096);
+
+void BM_ThorupZwickQuery(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = f.instance.graph.num_vertices();
+  util::Rng build_rng(2);
+  const oracle::ThorupZwickOracle oracle(f.instance.graph, 3, build_rng);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::Vertex>(rng.next_below(n));
+    const auto v = static_cast<graph::Vertex>(rng.next_below(n));
+    benchmark::DoNotOptimize(oracle.query(u, v));
+  }
+}
+BENCHMARK(BM_ThorupZwickQuery)->Arg(1024)->Arg(4096);
+
+void BM_PlanarSeparator(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.instance.finder->find(f.instance.graph));
+  }
+}
+BENCHMARK(BM_PlanarSeparator)->Arg(1024)->Arg(4096);
+
+void BM_HierarchyBuild(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    hierarchy::DecompositionTree tree(f.instance.graph, *f.instance.finder);
+    benchmark::DoNotOptimize(tree.height());
+  }
+}
+BENCHMARK(BM_HierarchyBuild)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

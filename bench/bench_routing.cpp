@@ -1,0 +1,59 @@
+// E4 — stretch-(1+ε) labeled compact routing.
+//
+// Reports per-vertex table sizes (the scheme's distributed space, which the
+// paper bounds polylogarithmically) and the routed stretch over sampled
+// pairs, for planar road networks, triangulations, grids and k-trees.
+#include "common.hpp"
+
+#include "routing/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace pathsep;
+using namespace pathsep::bench;
+
+namespace {
+
+void run(util::TableWriter& table, Instance instance, double epsilon,
+         std::size_t pairs) {
+  const std::size_t n = instance.graph.num_vertices();
+  const hierarchy::DecompositionTree tree(instance.graph, *instance.finder);
+  const routing::RoutingScheme scheme(tree, epsilon);
+
+  util::Rng rng(500 + n);
+  const routing::RoutingStats stats =
+      routing::evaluate_routing(scheme, instance.graph, pairs, rng);
+
+  const double avg_table =
+      static_cast<double>(scheme.table_words()) / static_cast<double>(n);
+  table.add_row({instance.family, util::strf("%zu", n),
+                 util::strf("%.2f", epsilon),
+                 util::strf("%.1f", avg_table),
+                 util::strf("%zu", scheme.max_table_words()),
+                 util::strf("%.4f", stats.stretch.mean()),
+                 util::strf("%.4f", stats.stretch.max()),
+                 util::strf("%.1f", stats.hops.mean()),
+                 util::strf("%zu", stats.failures)});
+}
+
+}  // namespace
+
+int main() {
+  section("E4", "stretch-(1+eps) compact routing tables");
+  util::TableWriter table({"family", "n", "eps", "avg_table_words",
+                           "max_table_words", "stretch_avg", "stretch_max",
+                           "hops_avg", "failures"});
+
+  for (std::size_t side : {16u, 32u, 64u})
+    run(table, make_road(side, 51 + side), 0.25, 200);
+  for (std::size_t n : {512u, 2048u, 8192u})
+    run(table, make_triangulation(n, 53 + n), 0.25, 200);
+  for (std::size_t side : {16u, 32u, 64u}) run(table, make_grid(side), 0.25, 200);
+  for (std::size_t n : {512u, 2048u}) run(table, make_ktree(n, 3, 57), 0.25, 200);
+  for (double eps : {1.0, 0.5, 0.1}) run(table, make_road(32, 59), eps, 200);
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper: poly-log per-vertex tables, routed stretch <= 1+eps;\n"
+      "stretch_max must never exceed 1+eps and failures must be 0.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E1 — Theorem 1 / Theorem 6.1 / Theorem 7: measured k-path separator sizes.
+//
+// For every graph family the paper names, builds the full decomposition
+// hierarchy and reports the measured max paths per separator (the "k"),
+// the balance (largest component fraction after the root separator), the
+// hierarchy depth against the log2(n) bound, and construction time. The
+// paper predicts: trees and unweighted meshes k = 1, planar k <= 3
+// (strong), treewidth-w graphs k <= w+1 (strong).
+#include "common.hpp"
+
+using namespace pathsep;
+using namespace pathsep::bench;
+
+namespace {
+
+void run_family(util::TableWriter& table, Instance instance,
+                std::size_t k_bound) {
+  const std::size_t n = instance.graph.num_vertices();
+  util::Timer timer;
+  const hierarchy::DecompositionTree tree(instance.graph, *instance.finder);
+  const double build_s = timer.elapsed_seconds();
+
+  // Root-level balance.
+  const auto& root = tree.node(0);
+  std::vector<bool> mask(n, false);
+  for (const auto& path : root.paths)
+    for (Vertex v : path.verts) mask[v] = true;
+  const graph::Components comps =
+      graph::connected_components(instance.graph, mask);
+  const double balance =
+      comps.count() == 0
+          ? 0.0
+          : static_cast<double>(comps.largest()) / static_cast<double>(n);
+
+  const double depth_bound = std::log2(static_cast<double>(n)) + 1;
+  table.add_row({instance.family, util::strf("%zu", n),
+                 util::strf("%zu", instance.graph.num_edges()),
+                 util::strf("%zu", tree.max_separator_paths()),
+                 k_bound ? util::strf("%zu", k_bound) : "-",
+                 util::strf("%.3f", balance),
+                 util::strf("%u", tree.height()),
+                 util::strf("%.1f", depth_bound),
+                 util::strf("%.3f", build_s)});
+}
+
+}  // namespace
+
+int main() {
+  section("E1", "k-path separator sizes per graph family (Thm 1/6.1/7)");
+  util::TableWriter table({"family", "n", "m", "k_measured", "k_paper",
+                           "root_balance", "depth", "log2n+1", "build_s"});
+
+  for (std::size_t side : {16u, 32u, 64u, 128u, 256u})
+    run_family(table, make_grid(side), 1);
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u})
+    run_family(table, make_tree(n, 7 + n), 1);
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u})
+    run_family(table, make_triangulation(n, 11 + n), 3);
+  for (std::size_t side : {16u, 32u, 64u})
+    run_family(table, make_road(side, 13 + side), 3);
+  for (std::size_t n : {256u, 1024u, 4096u})
+    run_family(table, make_series_parallel(n, 17 + n), 3);
+  for (std::size_t n : {256u, 1024u, 4096u})
+    run_family(table, make_outerplanar(n, 23 + n), 3);
+  for (std::size_t k : {2u, 3u, 4u})
+    run_family(table, make_ktree(2048, k, 19 + k), k + 1);
+
+  table.print(std::cout);
+
+  section("E1b", "Definition 1 validation (P1 shortest paths, P3 balance)");
+  util::TableWriter check({"family", "n", "valid", "paths", "sep_vertices",
+                           "largest_comp"});
+  std::vector<Instance> instances;
+  instances.push_back(make_grid(32));
+  instances.push_back(make_tree(1024, 3));
+  instances.push_back(make_triangulation(1024, 5));
+  instances.push_back(make_road(24, 7));
+  instances.push_back(make_series_parallel(512, 9));
+  instances.push_back(make_ktree(512, 3, 11));
+  for (auto& instance : instances) {
+    const separator::PathSeparator s = instance.finder->find(instance.graph);
+    const separator::ValidationReport report =
+        separator::validate(instance.graph, s);
+    check.add_row({instance.family,
+                   util::strf("%zu", instance.graph.num_vertices()),
+                   report.ok ? "yes" : ("NO: " + report.error),
+                   util::strf("%zu", report.path_count),
+                   util::strf("%zu", report.separator_vertices),
+                   util::strf("%zu", report.largest_component)});
+  }
+  check.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "doubling/dimension.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::doubling {
+
+DimensionEstimate estimate_doubling_dimension(const graph::Graph& g,
+                                              util::Rng& rng,
+                                              std::size_t samples) {
+  DimensionEstimate est;
+  const std::size_t n = g.num_vertices();
+  if (n == 0 || g.num_edges() == 0) return est;
+  const graph::Weight w_min = g.min_edge_weight();
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto center = static_cast<graph::Vertex>(rng.next_below(n));
+    const sssp::ShortestPaths from_center = sssp::dijkstra(g, center);
+    graph::Weight ecc = 0;
+    for (graph::Weight d : from_center.dist)
+      if (d != graph::kInfiniteWeight) ecc = std::max(ecc, d);
+    if (ecc <= 0) continue;
+    // Radius r log-uniform in [w_min/2, ecc/2]. Sub-edge radii matter: on a
+    // unit-weight star the only informative scale is r < 1, where the
+    // 2r-ball around the hub needs a ball per leaf.
+    const double lo = std::log(std::max(w_min / 2.0, 1e-9));
+    const double hi = std::log(std::max(static_cast<double>(ecc) / 2.0,
+                                        static_cast<double>(w_min) * 0.51));
+    const graph::Weight r = std::exp(rng.next_double(lo, hi));
+
+    // Ball of radius 2r around the center.
+    std::vector<graph::Vertex> ball;
+    for (graph::Vertex v = 0; v < n; ++v)
+      if (from_center.dist[v] <= 2 * r) ball.push_back(v);
+
+    // Greedy cover of the ball by radius-r balls (centers inside the ball).
+    std::vector<bool> covered(n, false);
+    std::size_t cover = 0;
+    for (graph::Vertex v : ball) {
+      if (covered[v]) continue;
+      ++cover;
+      const sssp::ShortestPaths sp = sssp::dijkstra_bounded(g, v, r);
+      for (graph::Vertex u : ball)
+        if (sp.dist[u] <= r) covered[u] = true;
+    }
+    ++est.samples;
+    est.worst_cover = std::max(est.worst_cover, cover);
+    if (cover > 0)
+      est.alpha = std::max(est.alpha,
+                           std::log2(static_cast<double>(cover)));
+  }
+  return est;
+}
+
+}  // namespace pathsep::doubling

@@ -1,0 +1,24 @@
+// Empirical doubling-dimension estimation (§5.3): H has doubling dimension
+// α if every radius-2r ball is coverable by at most 2^α radius-r balls. The
+// estimator samples (center, radius) pairs, covers each 2r-ball greedily by
+// r-balls, and reports the maximum log2(cover size) observed — a lower
+// bound on α that in practice tracks the true dimension (2 for grids,
+// unbounded for binary trees / expanders).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::doubling {
+
+struct DimensionEstimate {
+  double alpha = 0.0;          ///< max over samples of log2(cover size)
+  std::size_t samples = 0;
+  std::size_t worst_cover = 0; ///< largest cover encountered
+};
+
+DimensionEstimate estimate_doubling_dimension(const graph::Graph& g,
+                                              util::Rng& rng,
+                                              std::size_t samples = 24);
+
+}  // namespace pathsep::doubling

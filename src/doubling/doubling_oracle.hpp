@@ -1,0 +1,53 @@
+// (1+ε)-approximate distance oracle for (k,α)-doubling separable graphs
+// (Theorem 8), implemented concretely for unweighted 3D meshes on top of the
+// mid-plane decomposition (doubling_separator.hpp).
+//
+// Per decomposition node, every vertex of the node's box stores connections
+// to a multi-scale lattice net of the separator plane around its projection:
+// ring j covers plane points at L1 distance ~[s_j, s_{j+1}) from the
+// projection with a sub-lattice of spacing δ_j = Θ(ε · max(d, s_j − d)),
+// giving O((1/ε)² + (1/ε)·log Δ) connections — the τ ≤ k·(α/ε)^{O(α)}
+// of Theorem 8 with α = 2, k = 1. Distances to net points are exact
+// (one Dijkstra per distinct net point inside the box); along-plane
+// distances at query time are exact L1 because the plane is isometric.
+#pragma once
+
+#include <cstdint>
+
+#include "doubling/doubling_separator.hpp"
+#include "graph/graph.hpp"
+
+namespace pathsep::doubling {
+
+using graph::Weight;
+
+class DoublingOracle {
+ public:
+  DoublingOracle(const graph::Mesh3D& mesh, double epsilon);
+
+  /// Never underestimates; at most (1+ε)·d(u,v).
+  Weight query(Vertex u, Vertex v) const;
+
+  double epsilon() const { return epsilon_; }
+  std::size_t num_vertices() const { return parts_.size(); }
+
+  /// Words: 1 per part header + 2 per connection.
+  std::size_t size_in_words() const;
+  std::size_t max_vertex_words() const;
+  double average_connections() const;
+
+ private:
+  struct Conn {
+    std::int32_t a = 0, b = 0;  ///< net point coords within the plane
+    Weight dist = 0;            ///< exact d_box(v, net point)
+  };
+  struct Part {
+    std::int32_t node = 0;
+    std::vector<Conn> conns;
+  };
+
+  double epsilon_;
+  std::vector<std::vector<Part>> parts_;  ///< per mesh vertex, node-ascending
+};
+
+}  // namespace pathsep::doubling

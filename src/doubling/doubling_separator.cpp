@@ -1,0 +1,107 @@
+#include "doubling/doubling_separator.hpp"
+
+#include <stdexcept>
+
+namespace pathsep::doubling {
+
+namespace {
+
+int longest_axis(const MeshBox& box) {
+  int axis = 0;
+  for (int a = 1; a < 3; ++a)
+    if (box.extent(a) > box.extent(axis)) axis = a;
+  return axis;
+}
+
+std::size_t axis_lo(const MeshBox& box, int axis) {
+  return axis == 0 ? box.x0 : axis == 1 ? box.y0 : box.z0;
+}
+
+}  // namespace
+
+Mesh3DDecomposition::Mesh3DDecomposition(const graph::Mesh3D& mesh)
+    : mesh_(&mesh) {
+  if (mesh.nx == 0 || mesh.ny == 0 || mesh.nz == 0)
+    throw std::invalid_argument("empty mesh");
+  struct Pending {
+    MeshBox box;
+    int parent;
+    std::uint32_t depth;
+  };
+  std::vector<Pending> queue{
+      {{0, mesh.nx - 1, 0, mesh.ny - 1, 0, mesh.nz - 1}, -1, 0}};
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const Pending p = queue[qi];
+    Node node;
+    node.box = p.box;
+    node.parent = p.parent;
+    node.depth = p.depth;
+    node.axis = longest_axis(p.box);
+    const std::size_t len = p.box.extent(node.axis);
+    node.cut = axis_lo(p.box, node.axis) + (len - 1) / 2;
+    height_ = std::max(height_, p.depth + 1);
+
+    const int id = static_cast<int>(nodes_.size());
+    if (p.parent >= 0)
+      nodes_[static_cast<std::size_t>(p.parent)].children.push_back(id);
+
+    // Children: the two residual boxes (either may be empty).
+    MeshBox lo = p.box, hi = p.box;
+    switch (node.axis) {
+      case 0: lo.x1 = node.cut - 1; hi.x0 = node.cut + 1; break;
+      case 1: lo.y1 = node.cut - 1; hi.y0 = node.cut + 1; break;
+      default: lo.z1 = node.cut - 1; hi.z0 = node.cut + 1; break;
+    }
+    // Careful with unsigned underflow when cut == lo bound.
+    const std::size_t base = axis_lo(p.box, node.axis);
+    if (node.cut > base) queue.push_back({lo, id, p.depth + 1});
+    const std::size_t upper =
+        node.axis == 0 ? p.box.x1 : node.axis == 1 ? p.box.y1 : p.box.z1;
+    if (node.cut < upper) queue.push_back({hi, id, p.depth + 1});
+    nodes_.push_back(std::move(node));
+  }
+}
+
+std::vector<Vertex> Mesh3DDecomposition::plane_vertices(int node_id) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  std::vector<Vertex> out;
+  const MeshBox& b = node.box;
+  auto at = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return mesh_->at(x, y, z);
+  };
+  if (node.axis == 0) {
+    for (std::size_t z = b.z0; z <= b.z1; ++z)
+      for (std::size_t y = b.y0; y <= b.y1; ++y)
+        out.push_back(at(node.cut, y, z));
+  } else if (node.axis == 1) {
+    for (std::size_t z = b.z0; z <= b.z1; ++z)
+      for (std::size_t x = b.x0; x <= b.x1; ++x)
+        out.push_back(at(x, node.cut, z));
+  } else {
+    for (std::size_t y = b.y0; y <= b.y1; ++y)
+      for (std::size_t x = b.x0; x <= b.x1; ++x)
+        out.push_back(at(x, y, node.cut));
+  }
+  return out;
+}
+
+std::vector<int> Mesh3DDecomposition::chain(Vertex v) const {
+  const std::size_t x = v % mesh_->nx;
+  const std::size_t y = (v / mesh_->nx) % mesh_->ny;
+  const std::size_t z = v / (mesh_->nx * mesh_->ny);
+  std::vector<int> out;
+  int cur = 0;
+  for (;;) {
+    out.push_back(cur);
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    const std::size_t coord = node.axis == 0 ? x : node.axis == 1 ? y : z;
+    if (coord == node.cut) return out;  // v is on the plane: chain ends here
+    int next = -1;
+    for (int c : node.children)
+      if (nodes_[static_cast<std::size_t>(c)].box.contains(x, y, z)) next = c;
+    if (next < 0) throw std::logic_error("vertex fell out of the box tree");
+    cur = next;
+  }
+}
+
+}  // namespace pathsep::doubling

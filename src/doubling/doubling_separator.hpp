@@ -1,0 +1,69 @@
+// (k, α)-doubling separators (§5.3): Definition 1 with property P1 replaced
+// by P1' — each stage is a union of isometric subgraphs of doubling
+// dimension at most α. The canonical example motivating the definition is
+// the 3D mesh, which has no O(1)-path separator but is (1, 2)-doubling
+// separable by axis-aligned mid-planes; this module implements that
+// decomposition concretely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace pathsep::doubling {
+
+using graph::Vertex;
+
+/// Inclusive axis-aligned sub-box of a 3D mesh.
+struct MeshBox {
+  std::size_t x0 = 0, x1 = 0, y0 = 0, y1 = 0, z0 = 0, z1 = 0;
+
+  std::size_t extent(int axis) const {
+    switch (axis) {
+      case 0: return x1 - x0 + 1;
+      case 1: return y1 - y0 + 1;
+      default: return z1 - z0 + 1;
+    }
+  }
+  std::size_t volume() const { return extent(0) * extent(1) * extent(2); }
+  bool contains(std::size_t x, std::size_t y, std::size_t z) const {
+    return x0 <= x && x <= x1 && y0 <= y && y <= y1 && z0 <= z && z <= z1;
+  }
+};
+
+/// Recursive mid-plane decomposition of an unweighted 3D mesh. Each node
+/// cuts its longest axis at the middle; the cut plane is a 2D sub-mesh —
+/// an isometric subgraph of doubling dimension 2 — and both residual boxes
+/// have at most half the vertices, so the mesh is (1, 2)-doubling separable.
+class Mesh3DDecomposition {
+ public:
+  struct Node {
+    MeshBox box;
+    int axis = 0;          ///< cut axis (0 = x, 1 = y, 2 = z)
+    std::size_t cut = 0;   ///< cut coordinate along `axis`
+    int parent = -1;
+    std::vector<int> children;
+    std::uint32_t depth = 0;
+  };
+
+  explicit Mesh3DDecomposition(const graph::Mesh3D& mesh);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const graph::Mesh3D& mesh() const { return *mesh_; }
+  std::uint32_t height() const { return height_; }
+
+  /// Vertices of the node's separator plane (global mesh ids).
+  std::vector<Vertex> plane_vertices(int node_id) const;
+
+  /// Chain of node ids containing mesh vertex v, root first; the last node
+  /// is the one whose plane contains v.
+  std::vector<int> chain(Vertex v) const;
+
+ private:
+  const graph::Mesh3D* mesh_;
+  std::vector<Node> nodes_;
+  std::uint32_t height_ = 0;
+};
+
+}  // namespace pathsep::doubling

@@ -1,0 +1,29 @@
+#include "doubling/nets.hpp"
+
+#include <numeric>
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::doubling {
+
+std::vector<Vertex> greedy_net(const graph::Graph& g, Weight radius,
+                               std::span<const Vertex> universe) {
+  std::vector<Vertex> all;
+  if (universe.empty()) {
+    all.resize(g.num_vertices());
+    std::iota(all.begin(), all.end(), Vertex{0});
+    universe = all;
+  }
+  std::vector<bool> covered(g.num_vertices(), false);
+  std::vector<Vertex> net;
+  for (Vertex v : universe) {
+    if (covered[v]) continue;
+    net.push_back(v);
+    const sssp::ShortestPaths sp = sssp::dijkstra_bounded(g, v, radius);
+    for (Vertex u = 0; u < g.num_vertices(); ++u)
+      if (sp.dist[u] <= radius) covered[u] = true;
+  }
+  return net;
+}
+
+}  // namespace pathsep::doubling

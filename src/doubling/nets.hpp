@@ -1,0 +1,24 @@
+// r-nets in graph metrics (§5.3 machinery).
+//
+// An r-net of a vertex set U is a subset N ⊆ U such that every vertex of U
+// is within distance r of some net point and net points are pairwise more
+// than r apart. Greedy construction with one radius-bounded Dijkstra per
+// accepted center.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::doubling {
+
+using graph::Vertex;
+using graph::Weight;
+
+/// Greedy r-net of `universe` within the metric of g (distances measured in
+/// the whole graph g). `universe` defaults to all vertices when empty.
+std::vector<Vertex> greedy_net(const graph::Graph& g, Weight radius,
+                               std::span<const Vertex> universe = {});
+
+}  // namespace pathsep::doubling

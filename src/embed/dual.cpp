@@ -1,0 +1,103 @@
+#include "embed/dual.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pathsep::embed {
+
+std::vector<Vertex> balanced_cycle_corners(
+    const PlanarEmbedding& embedding, const sssp::SpTree& tree,
+    std::span<const double> vertex_weight) {
+  const std::size_t n = embedding.num_vertices();
+  if (vertex_weight.size() != n)
+    throw std::invalid_argument("vertex_weight size mismatch");
+  const FaceSet faces(embedding);
+  const std::size_t f = faces.count();
+  if (f == 0) {
+    // Edgeless graph: a single vertex is its own separator.
+    if (n != 1) throw std::logic_error("edgeless embedding with n != 1");
+    return {0};
+  }
+
+  // Assign every vertex's weight to one incident face. The chosen face's
+  // walk passes through the vertex, so the vertex is one of its corners.
+  std::vector<double> face_weight(f, 0.0);
+  for (Vertex v = 0; v < n; ++v) {
+    const int h = embedding.first_half_edge(v);
+    if (h < 0) throw std::logic_error("isolated vertex in embedding");
+    face_weight[static_cast<std::size_t>(
+        faces.face_of[static_cast<std::size_t>(h)])] += vertex_weight[v];
+  }
+
+  // Dual adjacency over non-tree edges. An edge {u,v} is a tree edge iff it
+  // is an *original* edge and one endpoint is the other's SP-tree parent;
+  // only the first such original edge per pair is designated (the input
+  // graph is simple, so there is exactly one).
+  const auto& parent = tree.parent();
+  std::vector<std::vector<int>> dual(f);
+  std::size_t non_tree = 0;
+  for (int h = 0; h < static_cast<int>(embedding.num_half_edges()); h += 2) {
+    const Vertex u = embedding.origin(h);
+    const Vertex v = embedding.target(h);
+    const bool is_tree = embedding.is_original(h) &&
+                         (parent[u] == v || parent[v] == u);
+    if (is_tree) continue;
+    ++non_tree;
+    const int fu = faces.face_of[static_cast<std::size_t>(h)];
+    const int fv = faces.face_of[static_cast<std::size_t>(h ^ 1)];
+    dual[static_cast<std::size_t>(fu)].push_back(fv);
+    dual[static_cast<std::size_t>(fv)].push_back(fu);
+  }
+  if (non_tree + 1 != f)
+    throw std::logic_error("dual of non-tree edges is not a tree (count)");
+
+  // Weighted centroid of the dual tree: compute subtree weights from an
+  // arbitrary root, then walk toward the heavy side until balanced.
+  std::vector<double> subtree(f, 0.0);
+  std::vector<int> order, par(f, -1);
+  std::vector<bool> seen(f, false);
+  order.reserve(f);
+  order.push_back(0);
+  seen[0] = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int x = order[i];
+    for (int y : dual[static_cast<std::size_t>(x)]) {
+      if (seen[static_cast<std::size_t>(y)]) continue;
+      seen[static_cast<std::size_t>(y)] = true;
+      par[static_cast<std::size_t>(y)] = x;
+      order.push_back(y);
+    }
+  }
+  if (order.size() != f)
+    throw std::logic_error("dual of non-tree edges is not a tree (connectivity)");
+  double total = 0;
+  for (double w : face_weight) total += w;
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const int x = order[i];
+    subtree[static_cast<std::size_t>(x)] += face_weight[static_cast<std::size_t>(x)];
+    if (par[static_cast<std::size_t>(x)] >= 0)
+      subtree[static_cast<std::size_t>(par[static_cast<std::size_t>(x)])] +=
+          subtree[static_cast<std::size_t>(x)];
+  }
+  // The centroid minimizes, over nodes x, the heaviest component of the dual
+  // tree with x removed: each child subtree, plus everything above x. The
+  // tree centroid theorem guarantees the minimum is <= total/2.
+  int centroid = 0;
+  double best_balance = std::numeric_limits<double>::infinity();
+  for (std::size_t x = 0; x < f; ++x) {
+    double balance = total - subtree[x];
+    for (int y : dual[x]) {
+      if (par[static_cast<std::size_t>(y)] == static_cast<int>(x))
+        balance = std::max(balance, subtree[static_cast<std::size_t>(y)]);
+    }
+    if (balance < best_balance) {
+      best_balance = balance;
+      centroid = static_cast<int>(x);
+    }
+  }
+
+  return faces.corners[static_cast<std::size_t>(centroid)];
+}
+
+}  // namespace pathsep::embed

@@ -1,0 +1,31 @@
+// Dual-tree machinery for balanced fundamental-cycle separators.
+//
+// Given a triangulated plane graph and a spanning tree T (rooted shortest-
+// path tree), the non-tree edges form a spanning tree of the dual
+// (interdigitating trees). Assigning every vertex's weight to one incident
+// face and picking the weighted centroid face f of the dual tree yields the
+// classic guarantee behind Thorup's separator [44]: removing the root paths
+// of T to the (<= 3) corners of f leaves components of weight <= W/2,
+// because each dual component hanging off f is fenced by a fundamental cycle
+// whose vertices lie on those root paths.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "embed/embedding.hpp"
+#include "sssp/sp_tree.hpp"
+
+namespace pathsep::embed {
+
+/// Corner vertices (<= 3, distinct) of the centroid face described above.
+/// `tree` must span the embedded graph's vertices and be rooted inside it;
+/// `vertex_weight` has one non-negative entry per vertex (pass all-ones to
+/// separate by vertex count). The embedding must already be triangulated.
+/// Throws std::logic_error if the dual of the non-tree edges is not a tree
+/// (which would indicate a broken embedding).
+std::vector<Vertex> balanced_cycle_corners(
+    const PlanarEmbedding& embedding, const sssp::SpTree& tree,
+    std::span<const double> vertex_weight);
+
+}  // namespace pathsep::embed

@@ -1,0 +1,95 @@
+// Half-edge (rotation system) representation of an embedded planar graph.
+//
+// Thorup's strong 3-path separator for planar graphs [44] — the base case of
+// the paper's Theorem 1 — needs a *triangulated* plane graph, its faces, and
+// the dual tree interdigitating with a primal spanning tree. This module
+// provides exactly that machinery:
+//
+//   * PlanarEmbedding: half-edges with circular per-vertex rotations, built
+//     from a straight-line drawing (positions) by angular sorting. Supports
+//     parallel edges, which triangulation may create.
+//   * triangulate(): ear-clips every face down to <= 3 *distinct corner
+//     vertices* (ordinary faces become triangles; faces alternating between
+//     two vertices — which can appear next to parallel edges — are already
+//     fine for the separator argument and are left alone).
+//   * FaceSet: face ids per half-edge plus per-face corner lists.
+//
+// Half-edge ids are even/odd twins: twin(h) == h ^ 1.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/generators.hpp"  // graph::Point
+#include "graph/graph.hpp"
+
+namespace pathsep::embed {
+
+using graph::Vertex;
+
+class PlanarEmbedding {
+ public:
+  /// Builds the rotation system of `g` from a planar straight-line drawing:
+  /// each vertex's incident half-edges are ordered counterclockwise by angle.
+  /// The drawing must be planar (generators in graph/generators.hpp guarantee
+  /// this); the constructor does not verify non-crossing.
+  PlanarEmbedding(const graph::Graph& g, std::span<const graph::Point> positions);
+
+  std::size_t num_vertices() const { return first_.size(); }
+  std::size_t num_half_edges() const { return origin_.size(); }
+  std::size_t num_edges() const { return origin_.size() / 2; }
+
+  Vertex origin(int h) const { return origin_[static_cast<std::size_t>(h)]; }
+  Vertex target(int h) const { return origin_[static_cast<std::size_t>(h ^ 1)]; }
+  static int twin(int h) { return h ^ 1; }
+
+  /// Counterclockwise successor among half-edges sharing h's origin.
+  int rot_next(int h) const { return rot_next_[static_cast<std::size_t>(h)]; }
+
+  /// Next half-edge along the face to one side of h (fixed orientation).
+  int face_next(int h) const { return rot_next_[static_cast<std::size_t>(h ^ 1)]; }
+
+  /// Some half-edge with origin v, or -1 if v is isolated.
+  int first_half_edge(Vertex v) const { return first_[v]; }
+
+  /// True if h belongs to an edge of the input graph (false for edges added
+  /// by triangulate()).
+  bool is_original(int h) const {
+    return static_cast<std::size_t>(h) < num_original_half_edges_;
+  }
+
+  /// Ear-clips every face until it has <= 3 distinct corner vertices.
+  void triangulate();
+
+  /// Checks Euler's formula n - m + f == 2 for the (connected) embedding.
+  bool satisfies_euler_formula() const;
+
+ private:
+  friend struct FaceSet;
+  // Appends the twin pair (u->v, v->u) and returns the id of u->v. Rotation
+  // links are left for the caller to splice.
+  int append_edge_pair(Vertex u, Vertex v);
+
+  std::vector<Vertex> origin_;
+  std::vector<int> rot_next_;
+  std::vector<int> first_;
+  std::size_t num_original_half_edges_ = 0;
+};
+
+/// Orbit partition of half-edges under face_next.
+struct FaceSet {
+  explicit FaceSet(const PlanarEmbedding& pe);
+
+  std::size_t count() const { return corners.size(); }
+
+  /// Face id of each half-edge.
+  std::vector<int> face_of;
+  /// Distinct corner vertices per face (sorted).
+  std::vector<std::vector<Vertex>> corners;
+  /// Number of half-edges on each face walk.
+  std::vector<std::size_t> walk_length;
+};
+
+}  // namespace pathsep::embed

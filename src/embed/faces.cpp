@@ -1,0 +1,28 @@
+#include <algorithm>
+
+#include "embed/embedding.hpp"
+
+namespace pathsep::embed {
+
+FaceSet::FaceSet(const PlanarEmbedding& pe) {
+  face_of.assign(pe.num_half_edges(), -1);
+  for (int h = 0; h < static_cast<int>(pe.num_half_edges()); ++h) {
+    if (face_of[static_cast<std::size_t>(h)] != -1) continue;
+    const int id = static_cast<int>(corners.size());
+    std::vector<Vertex> cs;
+    std::size_t len = 0;
+    int cur = h;
+    do {
+      face_of[static_cast<std::size_t>(cur)] = id;
+      cs.push_back(pe.origin(cur));
+      ++len;
+      cur = pe.face_next(cur);
+    } while (cur != h);
+    std::sort(cs.begin(), cs.end());
+    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+    corners.push_back(std::move(cs));
+    walk_length.push_back(len);
+  }
+}
+
+}  // namespace pathsep::embed

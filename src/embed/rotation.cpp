@@ -1,0 +1,65 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "embed/embedding.hpp"
+
+namespace pathsep::embed {
+
+PlanarEmbedding::PlanarEmbedding(const graph::Graph& g,
+                                 std::span<const graph::Point> positions) {
+  const std::size_t n = g.num_vertices();
+  if (positions.size() != n)
+    throw std::invalid_argument("positions size must match vertex count");
+
+  origin_.reserve(2 * g.num_edges());
+  // One half-edge pair per undirected edge; even id = lower-endpoint origin.
+  // half_of[u] collects the half-edge ids with origin u.
+  std::vector<std::vector<int>> half_of(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const graph::Arc& a : g.neighbors(u)) {
+      if (a.to < u) continue;
+      const int h = append_edge_pair(u, a.to);
+      half_of[u].push_back(h);
+      half_of[a.to].push_back(h ^ 1);
+    }
+  }
+  num_original_half_edges_ = origin_.size();
+
+  rot_next_.assign(origin_.size(), -1);
+  first_.assign(n, -1);
+  for (Vertex v = 0; v < n; ++v) {
+    auto& hs = half_of[v];
+    if (hs.empty()) continue;
+    std::sort(hs.begin(), hs.end(), [&](int a, int b) {
+      const graph::Point& pv = positions[v];
+      const graph::Point& pa = positions[target(a)];
+      const graph::Point& pb = positions[target(b)];
+      const double ang_a = std::atan2(pa.y - pv.y, pa.x - pv.x);
+      const double ang_b = std::atan2(pb.y - pv.y, pb.x - pv.x);
+      if (ang_a != ang_b) return ang_a < ang_b;
+      return a < b;  // deterministic tie-break for coincident directions
+    });
+    for (std::size_t i = 0; i < hs.size(); ++i)
+      rot_next_[static_cast<std::size_t>(hs[i])] = hs[(i + 1) % hs.size()];
+    first_[v] = hs.front();
+  }
+}
+
+int PlanarEmbedding::append_edge_pair(Vertex u, Vertex v) {
+  const int h = static_cast<int>(origin_.size());
+  origin_.push_back(u);
+  origin_.push_back(v);
+  return h;
+}
+
+bool PlanarEmbedding::satisfies_euler_formula() const {
+  const FaceSet faces(*this);
+  // n - m + f == 2 for a connected plane multigraph.
+  const long long n = static_cast<long long>(num_vertices());
+  const long long m = static_cast<long long>(num_edges());
+  const long long f = static_cast<long long>(faces.count());
+  return n - m + f == 2;
+}
+
+}  // namespace pathsep::embed

@@ -1,0 +1,101 @@
+#include <algorithm>
+#include <vector>
+
+#include "embed/embedding.hpp"
+
+namespace pathsep::embed {
+
+namespace {
+
+/// Distinct-vertex count over the origins of a face walk, early exit at 4.
+std::size_t distinct_corners(const PlanarEmbedding& pe,
+                             const std::vector<int>& walk) {
+  std::vector<Vertex> vs;
+  vs.reserve(walk.size());
+  for (int h : walk) {
+    const Vertex v = pe.origin(h);
+    bool seen = false;
+    for (Vertex u : vs)
+      if (u == v) {
+        seen = true;
+        break;
+      }
+    if (!seen) {
+      vs.push_back(v);
+      if (vs.size() > 3) return vs.size();
+    }
+  }
+  return vs.size();
+}
+
+}  // namespace
+
+void PlanarEmbedding::triangulate() {
+  // Collect one representative half-edge per face of the current embedding.
+  std::vector<int> face_reps;
+  {
+    std::vector<bool> seen(num_half_edges(), false);
+    for (int h = 0; h < static_cast<int>(num_half_edges()); ++h) {
+      if (seen[static_cast<std::size_t>(h)]) continue;
+      face_reps.push_back(h);
+      int cur = h;
+      do {
+        seen[static_cast<std::size_t>(cur)] = true;
+        cur = face_next(cur);
+      } while (cur != h);
+    }
+  }
+
+  for (int rep : face_reps) {
+    // Materialize the face walk.
+    std::vector<int> walk;
+    int cur = rep;
+    do {
+      walk.push_back(cur);
+      cur = face_next(cur);
+    } while (cur != rep);
+
+    // Ear-clip: cut triangle (w[i], w[i+1], diagonal) whenever the diagonal
+    // endpoints org(w[i]) and org(w[i+2]) are distinct. Each cut removes one
+    // half-edge from the walk (w[i], w[i+1] leave; the new diagonal enters).
+    while (walk.size() > 3 && distinct_corners(*this, walk) > 3) {
+      const std::size_t t = walk.size();
+      std::size_t ear = t;  // index i of a valid ear
+      for (std::size_t i = 0; i < t; ++i) {
+        if (origin(walk[i]) != origin(walk[(i + 2) % t])) {
+          ear = i;
+          break;
+        }
+      }
+      if (ear == t) break;  // walk alternates between two vertices; leave it
+
+      // Rotate so the ear sits at the front: walk = f0, f1, f2, ..., f_{t-1}.
+      std::rotate(walk.begin(), walk.begin() + static_cast<std::ptrdiff_t>(ear),
+                  walk.end());
+      const int f0 = walk[0];
+      const int f1 = walk[1];
+      const int f2 = walk[2];
+      const int f_last = walk.back();
+      const Vertex v0 = origin(f0);
+      const Vertex v2 = origin(f2);
+
+      const int d = append_edge_pair(v0, v2);  // d: v0->v2, twin(d): v2->v0
+      rot_next_.resize(origin_.size(), -1);
+      const int dt = twin(d);
+      // Splice at v2: predecessor of f2 in v2's rotation is twin(f1).
+      rot_next_[static_cast<std::size_t>(dt)] =
+          rot_next_[static_cast<std::size_t>(twin(f1))];
+      rot_next_[static_cast<std::size_t>(twin(f1))] = dt;
+      // Splice at v0: predecessor of f0 in v0's rotation is twin(f_last).
+      rot_next_[static_cast<std::size_t>(d)] =
+          rot_next_[static_cast<std::size_t>(twin(f_last))];
+      rot_next_[static_cast<std::size_t>(twin(f_last))] = d;
+      // Triangle face (f0, f1, twin(d)) is now closed; the remainder walk is
+      // (d, f2, ..., f_{t-1}).
+      walk[0] = d;
+      walk.erase(walk.begin() + 1, walk.begin() + 2);
+    }
+  }
+}
+
+}  // namespace pathsep::embed

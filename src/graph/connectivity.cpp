@@ -1,0 +1,75 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pathsep::graph {
+
+std::size_t Components::largest() const {
+  if (size.empty()) return 0;
+  return *std::max_element(size.begin(), size.end());
+}
+
+std::uint32_t Components::largest_id() const {
+  assert(!size.empty());
+  return static_cast<std::uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+}
+
+Components connected_components(const Graph& g,
+                                const std::vector<bool>& removed) {
+  const std::size_t n = g.num_vertices();
+  assert(removed.empty() || removed.size() == n);
+  Components out;
+  out.label.assign(n, Components::kRemoved);
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (out.label[s] != Components::kRemoved) continue;
+    if (!removed.empty() && removed[s]) continue;
+    const auto id = static_cast<std::uint32_t>(out.size.size());
+    out.size.push_back(0);
+    out.label[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      ++out.size[id];
+      for (const Arc& a : g.neighbors(v)) {
+        if (out.label[a.to] != Components::kRemoved) continue;
+        if (!removed.empty() && removed[a.to]) continue;
+        out.label[a.to] = id;
+        stack.push_back(a.to);
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count() == 1;
+}
+
+std::vector<Vertex> component_of(const Graph& g, Vertex v,
+                                 const std::vector<bool>& removed) {
+  assert(removed.empty() || !removed[v]);
+  const std::size_t n = g.num_vertices();
+  std::vector<bool> seen(n, false);
+  std::vector<Vertex> stack{v}, out;
+  seen[v] = true;
+  while (!stack.empty()) {
+    const Vertex u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (const Arc& a : g.neighbors(u)) {
+      if (seen[a.to]) continue;
+      if (!removed.empty() && removed[a.to]) continue;
+      seen[a.to] = true;
+      stack.push_back(a.to);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pathsep::graph

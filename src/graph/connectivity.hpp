@@ -1,0 +1,37 @@
+// Connected-component utilities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::graph {
+
+/// Component labelling of a graph, optionally ignoring a removed-vertex mask.
+struct Components {
+  /// Component id per vertex; kRemoved for masked-out vertices.
+  std::vector<std::uint32_t> label;
+  /// Vertex count per component id.
+  std::vector<std::size_t> size;
+
+  static constexpr std::uint32_t kRemoved = 0xffffffffu;
+
+  std::size_t count() const { return size.size(); }
+  std::size_t largest() const;
+  std::uint32_t largest_id() const;
+};
+
+/// Components of g. If `removed` is non-empty it must have size n; vertices
+/// with removed[v] == true are treated as deleted (they get label kRemoved
+/// and edges through them are ignored).
+Components connected_components(const Graph& g,
+                                const std::vector<bool>& removed = {});
+
+bool is_connected(const Graph& g);
+
+/// Vertices of the component containing `v` (v must not be removed).
+std::vector<Vertex> component_of(const Graph& g, Vertex v,
+                                 const std::vector<bool>& removed = {});
+
+}  // namespace pathsep::graph

@@ -1,0 +1,523 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/union_find.hpp"
+#include <stdexcept>
+
+namespace pathsep::graph {
+
+namespace {
+
+double dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+util::Rng& require_rng(util::Rng* rng, const WeightSpec& w) {
+  static util::Rng fallback(0);
+  if (rng) return *rng;
+  if (w.kind == WeightSpec::Kind::kUnit ||
+      w.kind == WeightSpec::Kind::kEuclidean)
+    return fallback;  // never actually sampled from
+  throw std::invalid_argument("random WeightSpec requires an Rng");
+}
+
+using util::UnionFind;
+
+}  // namespace
+
+Weight WeightSpec::sample(util::Rng& rng, double euclid) const {
+  switch (kind) {
+    case Kind::kUnit:
+      return 1.0;
+    case Kind::kUniformInt:
+      return static_cast<Weight>(rng.next_int(static_cast<std::int64_t>(lo),
+                                              static_cast<std::int64_t>(hi)));
+    case Kind::kUniformReal:
+      return rng.next_double(lo, hi);
+    case Kind::kEuclidean:
+      return std::max(euclid, 1e-9);
+  }
+  return 1.0;
+}
+
+Graph path_graph(std::size_t n, const WeightSpec& w, util::Rng* rng) {
+  util::Rng& r = require_rng(rng, w);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(i + 1), w.sample(r));
+  return std::move(b).build();
+}
+
+Graph cycle_graph(std::size_t n, const WeightSpec& w, util::Rng* rng) {
+  if (n < 3) throw std::invalid_argument("cycle needs >= 3 vertices");
+  util::Rng& r = require_rng(rng, w);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>((i + 1) % n),
+               w.sample(r));
+  return std::move(b).build();
+}
+
+Graph complete_graph(std::size_t n, const WeightSpec& w, util::Rng* rng) {
+  util::Rng& r = require_rng(rng, w);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j), w.sample(r));
+  return std::move(b).build();
+}
+
+Graph star_graph(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("star needs >= 1 vertex");
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) b.add_edge(0, static_cast<Vertex>(i));
+  return std::move(b).build();
+}
+
+Graph complete_bipartite(std::size_t r, std::size_t s) {
+  GraphBuilder b(r + s);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < s; ++j)
+      b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(r + j));
+  return std::move(b).build();
+}
+
+Graph hypercube(std::size_t dim) {
+  const std::size_t n = std::size_t{1} << dim;
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t bit = 0; bit < dim; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (u > v) b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(u));
+    }
+  return std::move(b).build();
+}
+
+Graph random_tree(std::size_t n, util::Rng& rng, const WeightSpec& w) {
+  if (n == 0) throw std::invalid_argument("tree needs >= 1 vertex");
+  GraphBuilder b(n);
+  if (n >= 2) {
+    if (n == 2) {
+      b.add_edge(0, 1, w.sample(rng));
+    } else {
+      // Decode a uniform random Pruefer sequence.
+      std::vector<std::size_t> seq(n - 2);
+      for (auto& s : seq) s = rng.next_below(n);
+      std::vector<std::size_t> deg(n, 1);
+      for (std::size_t s : seq) ++deg[s];
+      std::set<std::size_t> leaves;
+      for (std::size_t v = 0; v < n; ++v)
+        if (deg[v] == 1) leaves.insert(v);
+      for (std::size_t s : seq) {
+        const std::size_t leaf = *leaves.begin();
+        leaves.erase(leaves.begin());
+        b.add_edge(static_cast<Vertex>(leaf), static_cast<Vertex>(s),
+                   w.sample(rng));
+        if (--deg[s] == 1) leaves.insert(s);
+      }
+      const std::size_t u = *leaves.begin();
+      const std::size_t v = *std::next(leaves.begin());
+      b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v), w.sample(rng));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph balanced_tree(std::size_t branching, std::size_t depth,
+                    const WeightSpec& w, util::Rng* rng) {
+  if (branching == 0) throw std::invalid_argument("branching must be >= 1");
+  util::Rng& r = require_rng(rng, w);
+  std::size_t n = 1, layer = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    layer *= branching;
+    n += layer;
+  }
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v)
+    b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>((v - 1) / branching),
+               w.sample(r));
+  return std::move(b).build();
+}
+
+GridGraph grid(std::size_t rows, std::size_t cols, const WeightSpec& w,
+               util::Rng* rng) {
+  util::Rng& r = require_rng(rng, w);
+  GridGraph out;
+  out.rows = rows;
+  out.cols = cols;
+  out.positions.resize(rows * cols);
+  GraphBuilder b(rows * cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      out.positions[out.at(i, j)] = {static_cast<double>(j),
+                                     static_cast<double>(i)};
+      if (j + 1 < cols) b.add_edge(out.at(i, j), out.at(i, j + 1), w.sample(r));
+      if (i + 1 < rows) b.add_edge(out.at(i, j), out.at(i + 1, j), w.sample(r));
+    }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+GridGraph triangulated_grid(std::size_t rows, std::size_t cols,
+                            const WeightSpec& w, util::Rng* rng) {
+  util::Rng& r = require_rng(rng, w);
+  GridGraph out = grid(rows, cols, w, rng);
+  GraphBuilder b(rows * cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (j + 1 < cols) b.add_edge(out.at(i, j), out.at(i, j + 1),
+                                   out.graph.edge_weight(out.at(i, j), out.at(i, j + 1)));
+      if (i + 1 < rows) b.add_edge(out.at(i, j), out.at(i + 1, j),
+                                   out.graph.edge_weight(out.at(i, j), out.at(i + 1, j)));
+      if (i + 1 < rows && j + 1 < cols)
+        b.add_edge(out.at(i, j), out.at(i + 1, j + 1),
+                   w.kind == WeightSpec::Kind::kEuclidean ? std::sqrt(2.0)
+                                                          : w.sample(r));
+    }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+Graph torus(std::size_t rows, std::size_t cols, const WeightSpec& w,
+            util::Rng* rng) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("torus needs both dimensions >= 3");
+  util::Rng& r = require_rng(rng, w);
+  GraphBuilder b(rows * cols);
+  auto at = [cols](std::size_t i, std::size_t j) {
+    return static_cast<Vertex>(i * cols + j);
+  };
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      b.add_edge(at(i, j), at(i, (j + 1) % cols), w.sample(r));
+      b.add_edge(at(i, j), at((i + 1) % rows, j), w.sample(r));
+    }
+  return std::move(b).build();
+}
+
+Mesh3D mesh3d(std::size_t nx, std::size_t ny, std::size_t nz,
+              const WeightSpec& w, util::Rng* rng) {
+  util::Rng& r = require_rng(rng, w);
+  Mesh3D out;
+  out.nx = nx;
+  out.ny = ny;
+  out.nz = nz;
+  GraphBuilder b(nx * ny * nz);
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx) b.add_edge(out.at(x, y, z), out.at(x + 1, y, z), w.sample(r));
+        if (y + 1 < ny) b.add_edge(out.at(x, y, z), out.at(x, y + 1, z), w.sample(r));
+        if (z + 1 < nz) b.add_edge(out.at(x, y, z), out.at(x, y, z + 1), w.sample(r));
+      }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+GeometricGraph random_apollonian(std::size_t n, util::Rng& rng,
+                                 const WeightSpec& w) {
+  if (n < 3) throw std::invalid_argument("apollonian needs >= 3 vertices");
+  GeometricGraph out;
+  out.positions = {{0.0, 0.0}, {1.0, 0.0}, {0.5, std::sqrt(3.0) / 2.0}};
+  struct Face {
+    Vertex a, b, c;
+  };
+  std::vector<Face> faces{{0, 1, 2}};
+  struct E {
+    Vertex u, v;
+  };
+  std::vector<E> edges{{0, 1}, {1, 2}, {0, 2}};
+  for (Vertex v = 3; v < n; ++v) {
+    const std::size_t f = rng.next_below(faces.size());
+    const Face face = faces[f];
+    const Point p = {(out.positions[face.a].x + out.positions[face.b].x +
+                      out.positions[face.c].x) /
+                         3.0,
+                     (out.positions[face.a].y + out.positions[face.b].y +
+                      out.positions[face.c].y) /
+                         3.0};
+    out.positions.push_back(p);
+    edges.push_back({face.a, v});
+    edges.push_back({face.b, v});
+    edges.push_back({face.c, v});
+    faces[f] = {face.a, face.b, v};
+    faces.push_back({face.b, face.c, v});
+    faces.push_back({face.a, face.c, v});
+  }
+  GraphBuilder b(n);
+  for (const E& e : edges)
+    b.add_edge(e.u, e.v,
+               w.sample(rng, dist(out.positions[e.u], out.positions[e.v])));
+  out.graph = std::move(b).build();
+  return out;
+}
+
+GeometricGraph road_network(std::size_t rows, std::size_t cols, util::Rng& rng,
+                            double extra_diagonal_prob, double drop_prob) {
+  if (rows < 2 || cols < 2)
+    throw std::invalid_argument("road network needs a 2x2 grid at least");
+  GeometricGraph out;
+  const std::size_t n = rows * cols;
+  out.positions.resize(n);
+  auto at = [cols](std::size_t i, std::size_t j) {
+    return static_cast<Vertex>(i * cols + j);
+  };
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      out.positions[at(i, j)] = {static_cast<double>(j) + rng.next_double(-0.3, 0.3),
+                                 static_cast<double>(i) + rng.next_double(-0.3, 0.3)};
+
+  struct E {
+    Vertex u, v;
+  };
+  std::vector<E> edges;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (j + 1 < cols) edges.push_back({at(i, j), at(i, j + 1)});
+      if (i + 1 < rows) edges.push_back({at(i, j), at(i + 1, j)});
+      // At most one diagonal per cell, and only an *interior* one: jitter
+      // can make the cell quad non-convex, in which case the diagonal that
+      // skips the reflex corner would leave the quad and cross a
+      // neighboring edge, breaking planarity of the drawing.
+      if (i + 1 < rows && j + 1 < cols && rng.next_bool(extra_diagonal_prob)) {
+        const Vertex a = at(i, j), b = at(i, j + 1), c = at(i + 1, j + 1),
+                     d = at(i + 1, j);
+        auto cross = [&](Vertex p, Vertex q, Vertex r) {
+          const Point& pp = out.positions[p];
+          const Point& pq = out.positions[q];
+          const Point& pr = out.positions[r];
+          return (pq.x - pp.x) * (pr.y - pq.y) - (pq.y - pp.y) * (pr.x - pq.x);
+        };
+        // Quad in cyclic order a, b, c, d. Signs of the corner turns: a
+        // reflex corner has the minority sign; the interior diagonal is the
+        // one through the reflex corner.
+        const bool turn_a = cross(d, a, b) > 0;
+        const bool turn_b = cross(a, b, c) > 0;
+        const bool turn_c = cross(b, c, d) > 0;
+        const bool turn_d = cross(c, d, a) > 0;
+        const int positives = turn_a + turn_b + turn_c + turn_d;
+        bool use_ac;  // diagonal {a, c} vs {b, d}
+        if (positives == 0 || positives == 4) {
+          use_ac = rng.next_bool();  // convex: either diagonal is interior
+        } else {
+          const bool minority = positives < 2;
+          if (turn_a == minority || turn_c == minority)
+            use_ac = true;  // reflex at a or c
+          else
+            use_ac = false;  // reflex at b or d
+        }
+        if (use_ac)
+          edges.push_back({a, c});
+        else
+          edges.push_back({b, d});
+      }
+    }
+  rng.shuffle(edges);
+  // Keep a spanning skeleton, then drop the remaining edges with drop_prob.
+  UnionFind uf(n);
+  GraphBuilder b(n);
+  for (const E& e : edges) {
+    const bool bridge = uf.unite(e.u, e.v);
+    if (bridge || !rng.next_bool(drop_prob))
+      b.add_edge(e.u, e.v, std::max(dist(out.positions[e.u], out.positions[e.v]), 1e-9));
+  }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+GeometricGraph random_outerplanar(std::size_t n, util::Rng& rng,
+                                  double chord_prob, const WeightSpec& w) {
+  if (n < 3) throw std::invalid_argument("outerplanar needs >= 3 vertices");
+  GeometricGraph out;
+  out.positions.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(i) / static_cast<double>(n);
+    out.positions[i] = {std::cos(angle), std::sin(angle)};
+  }
+  struct E {
+    Vertex u, v;
+  };
+  std::vector<E> edges;
+  for (std::size_t i = 0; i < n; ++i)
+    edges.push_back({static_cast<Vertex>(i),
+                     static_cast<Vertex>((i + 1) % n)});
+  // Random triangulation of the polygon interior: split interval [i, j] at
+  // a random k, keeping chords with chord_prob (the cycle stays intact, so
+  // the graph remains connected and outerplanar either way).
+  std::vector<std::pair<Vertex, Vertex>> stack{{0, static_cast<Vertex>(n - 1)}};
+  while (!stack.empty()) {
+    const auto [i, j] = stack.back();
+    stack.pop_back();
+    if (j - i < 2) continue;
+    const Vertex k =
+        i + 1 + static_cast<Vertex>(rng.next_below(j - i - 1));
+    if (k > i + 1 && rng.next_bool(chord_prob)) edges.push_back({i, k});
+    if (k < j - 1 && rng.next_bool(chord_prob)) edges.push_back({k, j});
+    stack.push_back({i, k});
+    stack.push_back({k, j});
+  }
+  GraphBuilder b(n);
+  for (const E& e : edges)
+    b.add_edge(e.u, e.v,
+               w.sample(rng, dist(out.positions[e.u], out.positions[e.v])));
+  out.graph = std::move(b).build();
+  return out;
+}
+
+Graph random_ktree(std::size_t n, std::size_t k, util::Rng& rng,
+                   const WeightSpec& w) {
+  if (k == 0) throw std::invalid_argument("k must be >= 1");
+  if (n < k + 1) throw std::invalid_argument("k-tree needs >= k+1 vertices");
+  GraphBuilder b(n);
+  std::vector<std::vector<Vertex>> cliques;  // all k-cliques usable as parents
+  std::vector<Vertex> base(k);
+  for (std::size_t i = 0; i < k; ++i) base[i] = static_cast<Vertex>(i);
+  for (std::size_t i = 0; i <= k; ++i)
+    for (std::size_t j = i + 1; j <= k; ++j)
+      b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j), w.sample(rng));
+  // k-cliques of the initial (k+1)-clique.
+  for (std::size_t skip = 0; skip <= k; ++skip) {
+    std::vector<Vertex> c;
+    for (std::size_t i = 0; i <= k; ++i)
+      if (i != skip) c.push_back(static_cast<Vertex>(i));
+    cliques.push_back(std::move(c));
+  }
+  for (Vertex v = static_cast<Vertex>(k + 1); v < n; ++v) {
+    const auto& parent = cliques[rng.next_below(cliques.size())];
+    for (Vertex u : parent) b.add_edge(u, v, w.sample(rng));
+    // New k-cliques: parent with one vertex swapped for v.
+    std::vector<std::vector<Vertex>> fresh;
+    for (std::size_t skip = 0; skip < parent.size(); ++skip) {
+      std::vector<Vertex> c;
+      for (std::size_t i = 0; i < parent.size(); ++i)
+        if (i != skip) c.push_back(parent[i]);
+      c.push_back(v);
+      fresh.push_back(std::move(c));
+    }
+    for (auto& c : fresh) cliques.push_back(std::move(c));
+  }
+  return std::move(b).build();
+}
+
+Graph random_partial_ktree(std::size_t n, std::size_t k, double keep_prob,
+                           util::Rng& rng, const WeightSpec& w) {
+  Graph full = random_ktree(n, k, rng, w);
+  struct E {
+    Vertex u, v;
+    Weight w;
+  };
+  std::vector<E> edges;
+  for (Vertex v = 0; v < full.num_vertices(); ++v)
+    for (const Arc& a : full.neighbors(v))
+      if (a.to > v) edges.push_back({v, a.to, a.weight});
+  rng.shuffle(edges);
+  UnionFind uf(n);
+  GraphBuilder b(n);
+  for (const E& e : edges) {
+    const bool bridge = uf.unite(e.u, e.v);
+    if (bridge || rng.next_bool(keep_prob)) b.add_edge(e.u, e.v, e.w);
+  }
+  return std::move(b).build();
+}
+
+Graph random_series_parallel(std::size_t n, util::Rng& rng,
+                             const WeightSpec& w) {
+  if (n < 2) throw std::invalid_argument("series-parallel needs >= 2 vertices");
+  struct E {
+    Vertex u, v;
+  };
+  std::vector<E> edges{{0, 1}};
+  // Each operation adds one vertex: either subdivide a random edge (series)
+  // or attach a new vertex to both endpoints of a random edge (parallel
+  // composition of the edge with a two-edge path).
+  for (Vertex v = 2; v < n; ++v) {
+    const std::size_t i = rng.next_below(edges.size());
+    const E e = edges[i];
+    if (rng.next_bool()) {
+      edges[i] = {e.u, v};
+      edges.push_back({v, e.v});
+    } else {
+      edges.push_back({e.u, v});
+      edges.push_back({e.v, v});
+    }
+  }
+  GraphBuilder b(n);
+  for (const E& e : edges) b.add_edge(e.u, e.v, w.sample(rng));
+  return std::move(b).build();
+}
+
+Graph mesh_with_apex(std::size_t t) {
+  GridGraph base = grid(t, t);
+  const std::size_t n = t * t + 1;
+  const Vertex apex = static_cast<Vertex>(t * t);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < base.graph.num_vertices(); ++v) {
+    for (const Arc& a : base.graph.neighbors(v))
+      if (a.to > v) b.add_edge(v, a.to, a.weight);
+    b.add_edge(v, apex, 1.0);
+  }
+  return std::move(b).build();
+}
+
+Graph gnm_random(std::size_t n, std::size_t m, util::Rng& rng,
+                 bool ensure_connected, const WeightSpec& w) {
+  if (n == 0) throw std::invalid_argument("gnm needs >= 1 vertex");
+  const std::size_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges) throw std::invalid_argument("too many edges requested");
+  std::set<std::pair<Vertex, Vertex>> chosen;
+  GraphBuilder b(n);
+  if (ensure_connected && n >= 2) {
+    // Random spanning tree by uniform attachment over a shuffled order.
+    std::vector<Vertex> order(n);
+    std::iota(order.begin(), order.end(), Vertex{0});
+    rng.shuffle(order);
+    for (std::size_t i = 1; i < n; ++i) {
+      const Vertex u = order[i];
+      const Vertex v = order[rng.next_below(i)];
+      chosen.insert({std::min(u, v), std::max(u, v)});
+    }
+  }
+  // If ensure_connected forced more than m edges, the spanning tree wins.
+  while (chosen.size() < m) {
+    const Vertex u = static_cast<Vertex>(rng.next_below(n));
+    const Vertex v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    chosen.insert({std::min(u, v), std::max(u, v)});
+  }
+  for (const auto& [u, v] : chosen) b.add_edge(u, v, w.sample(rng));
+  return std::move(b).build();
+}
+
+Graph random_expander(std::size_t n, std::size_t d, util::Rng& rng) {
+  if (n % 2 != 0) throw std::invalid_argument("expander needs even n");
+  if (n < 4) throw std::invalid_argument("expander needs n >= 4");
+  std::set<std::pair<Vertex, Vertex>> chosen;
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), Vertex{0});
+  // Hamiltonian cycle for connectivity.
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vertex u = order[i];
+    const Vertex v = order[(i + 1) % n];
+    chosen.insert({std::min(u, v), std::max(u, v)});
+  }
+  for (std::size_t matching = 2; matching < std::max<std::size_t>(d, 3); ++matching) {
+    rng.shuffle(order);
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      const Vertex u = order[i];
+      const Vertex v = order[i + 1];
+      chosen.insert({std::min(u, v), std::max(u, v)});
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : chosen) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+}  // namespace pathsep::graph

@@ -1,0 +1,171 @@
+// Graph generators for every family the paper discusses.
+//
+// The paper's classes (§1.1, §5): trees (K3-minor-free), series-parallel and
+// bounded-treewidth graphs (K4 / K_{r+2}), planar graphs (K5), grids/meshes,
+// plus its lower-bound constructions: K_{r,s} (Thm 7), the t x t mesh with a
+// universal apex (Thm 6.3), and sparse random graphs (Thm 5). Geometric
+// generators also return straight-line positions so that embed/ can derive a
+// combinatorial planar embedding by angular sorting.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::graph {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+/// How generators assign edge weights.
+struct WeightSpec {
+  enum class Kind {
+    kUnit,        ///< every edge weighs 1
+    kUniformInt,  ///< integer uniform in [lo, hi]
+    kUniformReal, ///< real uniform in [lo, hi)
+    kEuclidean,   ///< Euclidean length of the segment (geometric generators)
+  };
+  Kind kind = Kind::kUnit;
+  double lo = 1.0;
+  double hi = 1.0;
+
+  static WeightSpec unit() { return {}; }
+  static WeightSpec uniform_int(double lo, double hi) {
+    return {Kind::kUniformInt, lo, hi};
+  }
+  static WeightSpec uniform_real(double lo, double hi) {
+    return {Kind::kUniformReal, lo, hi};
+  }
+  static WeightSpec euclidean() { return {Kind::kEuclidean, 0, 0}; }
+
+  /// Samples a weight; `euclid` is the geometric length of the edge (ignored
+  /// unless kind == kEuclidean, where a zero length is clamped to 1e-9).
+  Weight sample(util::Rng& rng, double euclid = 1.0) const;
+};
+
+/// A graph together with straight-line vertex positions (planar for the
+/// planar generators, arbitrary otherwise).
+struct GeometricGraph {
+  Graph graph;
+  std::vector<Point> positions;
+};
+
+/// Rectangular grid with row-major vertex ids and unit spacing positions.
+struct GridGraph {
+  Graph graph;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<Point> positions;
+
+  Vertex at(std::size_t r, std::size_t c) const {
+    return static_cast<Vertex>(r * cols + c);
+  }
+};
+
+/// Axis-aligned 3D mesh with x-fastest vertex ids.
+struct Mesh3D {
+  Graph graph;
+  std::size_t nx = 0, ny = 0, nz = 0;
+
+  Vertex at(std::size_t x, std::size_t y, std::size_t z) const {
+    return static_cast<Vertex>((z * ny + y) * nx + x);
+  }
+};
+
+// --- elementary families ---------------------------------------------------
+
+Graph path_graph(std::size_t n, const WeightSpec& w = {}, util::Rng* rng = nullptr);
+Graph cycle_graph(std::size_t n, const WeightSpec& w = {}, util::Rng* rng = nullptr);
+Graph complete_graph(std::size_t n, const WeightSpec& w = {}, util::Rng* rng = nullptr);
+Graph star_graph(std::size_t n);
+Graph complete_bipartite(std::size_t r, std::size_t s);
+Graph hypercube(std::size_t dim);
+
+// --- trees (1-path separable) -----------------------------------------------
+
+/// Uniform random labelled tree (random Pruefer sequence).
+Graph random_tree(std::size_t n, util::Rng& rng, const WeightSpec& w = {});
+
+/// Perfect b-ary tree of the given depth (depth 0 = single vertex).
+Graph balanced_tree(std::size_t branching, std::size_t depth,
+                    const WeightSpec& w = {}, util::Rng* rng = nullptr);
+
+// --- grids and meshes -------------------------------------------------------
+
+GridGraph grid(std::size_t rows, std::size_t cols, const WeightSpec& w = {},
+               util::Rng* rng = nullptr);
+
+/// Grid plus one diagonal per cell: a planar triangulation of the rectangle
+/// except for the outer face.
+GridGraph triangulated_grid(std::size_t rows, std::size_t cols,
+                            const WeightSpec& w = {}, util::Rng* rng = nullptr);
+
+Graph torus(std::size_t rows, std::size_t cols, const WeightSpec& w = {},
+            util::Rng* rng = nullptr);
+
+Mesh3D mesh3d(std::size_t nx, std::size_t ny, std::size_t nz,
+              const WeightSpec& w = {}, util::Rng* rng = nullptr);
+
+// --- planar graphs (strongly 3-path separable, Thm 6.1) ---------------------
+
+/// Random Apollonian network: start from a triangle, repeatedly subdivide a
+/// random face by a new vertex joined to its three corners. Produces a planar
+/// triangulation (also a 3-tree) with a straight-line drawing obtained by
+/// placing each new vertex at the centroid of its face.
+GeometricGraph random_apollonian(std::size_t n, util::Rng& rng,
+                                 const WeightSpec& w = WeightSpec::euclidean());
+
+/// Synthetic road network: jittered grid vertices, grid edges plus random
+/// cell diagonals, Euclidean weights, and a fraction of edges removed while
+/// keeping the graph connected. Planar with the straight-line drawing.
+GeometricGraph road_network(std::size_t rows, std::size_t cols, util::Rng& rng,
+                            double extra_diagonal_prob = 0.4,
+                            double drop_prob = 0.1);
+
+/// Random outerplanar graph (K4- and K_{2,3}-minor-free; §1.1 names these as
+/// a classic backbone family): vertices on a circle, the polygon cycle, and
+/// a random triangulation of the interior with each chord kept with
+/// probability chord_prob (1.0 gives a maximal outerplanar graph, a 2-tree).
+GeometricGraph random_outerplanar(std::size_t n, util::Rng& rng,
+                                  double chord_prob = 1.0,
+                                  const WeightSpec& w = WeightSpec::euclidean());
+
+// --- bounded treewidth (strongly (w+1)-path separable, Thm 7) ---------------
+
+/// Random k-tree on n >= k+1 vertices (treewidth exactly k for n > k).
+Graph random_ktree(std::size_t n, std::size_t k, util::Rng& rng,
+                   const WeightSpec& w = {});
+
+/// Random connected partial k-tree: a random k-tree with each non-clique edge
+/// kept with probability keep_prob, re-connected if necessary (treewidth <= k).
+Graph random_partial_ktree(std::size_t n, std::size_t k, double keep_prob,
+                           util::Rng& rng, const WeightSpec& w = {});
+
+/// Random series-parallel graph (treewidth <= 2, K4-minor-free) grown by
+/// repeated series subdivisions and parallel duplications of edges.
+Graph random_series_parallel(std::size_t n, util::Rng& rng,
+                             const WeightSpec& w = {});
+
+// --- lower-bound constructions (§5) ------------------------------------------
+
+/// t x t mesh plus one universal vertex (K6-minor-free but every *strong*
+/// k-path separator needs k = Omega(sqrt n); Theorem 6.3).
+Graph mesh_with_apex(std::size_t t);
+
+// --- random sparse graphs (Thm 5) --------------------------------------------
+
+/// G(n, m) uniform random multigraph-free graph; when ensure_connected, extra
+/// tree edges are added first so the result is connected.
+Graph gnm_random(std::size_t n, std::size_t m, util::Rng& rng,
+                 bool ensure_connected = true, const WeightSpec& w = {});
+
+/// Random d-regular-ish expander: union of `d/2` random perfect matchings on
+/// an even number of vertices plus a Hamiltonian cycle for connectivity.
+Graph random_expander(std::size_t n, std::size_t d, util::Rng& rng);
+
+}  // namespace pathsep::graph

@@ -1,0 +1,113 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace pathsep::graph {
+
+Weight Graph::edge_weight(Vertex u, Vertex v) const {
+  auto nbrs = neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Arc& a, Vertex target) { return a.to < target; });
+  if (it != nbrs.end() && it->to == v) return it->weight;
+  return kInfiniteWeight;
+}
+
+Weight Graph::total_weight() const {
+  Weight total = 0;
+  for (const Arc& a : arcs_) total += a.weight;
+  return total / 2;
+}
+
+Weight Graph::min_edge_weight() const {
+  assert(!arcs_.empty());
+  Weight w = kInfiniteWeight;
+  for (const Arc& a : arcs_) w = std::min(w, a.weight);
+  return w;
+}
+
+Weight Graph::max_edge_weight() const {
+  assert(!arcs_.empty());
+  Weight w = 0;
+  for (const Arc& a : arcs_) w = std::max(w, a.weight);
+  return w;
+}
+
+std::size_t Graph::size_in_words() const {
+  // offsets: one word per vertex; arcs: id + weight per directed arc.
+  return num_vertices() + 1 + 2 * arcs_.size();
+}
+
+bool Graph::operator==(const Graph& other) const {
+  if (num_vertices() != other.num_vertices()) return false;
+  if (offsets_ != other.offsets_) return false;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (arcs_[i].to != other.arcs_[i].to ||
+        arcs_[i].weight != other.arcs_[i].weight)
+      return false;
+  }
+  return true;
+}
+
+std::string Graph::debug_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_vertices() << ", m=" << num_edges() << ")";
+  return os.str();
+}
+
+GraphBuilder::GraphBuilder(std::size_t num_vertices)
+    : num_vertices_(num_vertices) {}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v, Weight w) {
+  if (u == v) throw std::invalid_argument("self-loop rejected");
+  if (u >= num_vertices_ || v >= num_vertices_)
+    throw std::out_of_range("edge endpoint out of range");
+  if (!(w > 0)) throw std::invalid_argument("edge weight must be positive");
+  edges_.push_back({u, v, w});
+}
+
+Graph GraphBuilder::build() && {
+  Graph g;
+  g.offsets_.assign(num_vertices_ + 1, 0);
+  for (const auto& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+
+  g.arcs_.resize(edges_.size() * 2, Arc{kInvalidVertex, 0});
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    g.arcs_[cursor[e.u]++] = Arc{e.v, e.w};
+    g.arcs_[cursor[e.v]++] = Arc{e.u, e.w};
+  }
+  // Sort each neighbor list, then merge duplicate undirected edges to the
+  // minimum weight (generators may emit the same edge twice).
+  std::vector<Arc> merged;
+  merged.reserve(g.arcs_.size());
+  std::vector<std::size_t> new_offsets(num_vertices_ + 1, 0);
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    auto begin = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end,
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+    for (auto it = begin; it != end; ++it) {
+      if (!merged.empty() && merged.size() > new_offsets[v] &&
+          merged.back().to == it->to) {
+        merged.back().weight = std::min(merged.back().weight, it->weight);
+      } else {
+        merged.push_back(*it);
+      }
+    }
+    new_offsets[v + 1] = merged.size();
+  }
+  g.arcs_ = std::move(merged);
+  g.offsets_ = std::move(new_offsets);
+  return g;
+}
+
+}  // namespace pathsep::graph

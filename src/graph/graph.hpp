@@ -1,0 +1,100 @@
+// Weighted undirected graph in compressed-sparse-row form.
+//
+// This is the substrate type for the whole library: separators, oracles,
+// routing and small-world augmentation all consume `Graph`. Graphs are
+// immutable after construction; algorithms that "remove" vertices build
+// induced subgraphs (see graph/subgraph.hpp) carrying id maps back to the
+// parent, which matches how the paper peels components off a separator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pathsep::graph {
+
+using Vertex = std::uint32_t;
+using Weight = double;
+
+inline constexpr Vertex kInvalidVertex = std::numeric_limits<Vertex>::max();
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::infinity();
+
+/// One directed arc of the CSR adjacency (each undirected edge appears twice).
+struct Arc {
+  Vertex to;
+  Weight weight;
+};
+
+class GraphBuilder;
+
+/// Immutable weighted undirected graph. Neighbor lists are sorted by target
+/// id, which gives O(log deg) `find_arc` and deterministic iteration order.
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const { return arcs_.size() / 2; }
+
+  std::span<const Arc> neighbors(Vertex v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(Vertex v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Weight of edge {u,v}, or kInfiniteWeight if absent.
+  Weight edge_weight(Vertex u, Vertex v) const;
+
+  bool has_edge(Vertex u, Vertex v) const {
+    return edge_weight(u, v) != kInfiniteWeight;
+  }
+
+  /// Sum of all edge weights.
+  Weight total_weight() const;
+
+  /// Smallest / largest edge weight (graph must have at least one edge).
+  Weight min_edge_weight() const;
+  Weight max_edge_weight() const;
+
+  /// Memory footprint in 8-byte words, the unit used by the paper's space
+  /// bounds (one word holds a vertex id or an edge weight; footnote 2).
+  std::size_t size_in_words() const;
+
+  /// Structural equality (same vertex count and identical sorted arc lists).
+  bool operator==(const Graph& other) const;
+
+  std::string debug_string() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_;  // n+1 entries
+  std::vector<Arc> arcs_;             // 2m entries, sorted per vertex
+};
+
+/// Accumulates edges, then `build()`s a CSR graph. Duplicate undirected edges
+/// are rejected (debug assert) or merged to the minimum weight (release),
+/// self-loops are always rejected.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_vertices);
+
+  /// Adds undirected edge {u,v} with positive weight. Requires u != v.
+  void add_edge(Vertex u, Vertex v, Weight w = 1.0);
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  Graph build() &&;
+
+ private:
+  struct PendingEdge {
+    Vertex u, v;
+    Weight w;
+  };
+  std::size_t num_vertices_;
+  std::vector<PendingEdge> edges_;
+};
+
+}  // namespace pathsep::graph

@@ -1,0 +1,60 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pathsep::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "p " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  os.precision(17);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (const Arc& a : g.neighbors(v))
+      if (a.to > v) os << "e " << v << ' ' << a.to << ' ' << a.weight << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  std::size_t n = 0, m = 0;
+  bool have_header = false;
+  GraphBuilder builder(0);
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag;
+    ls >> tag;
+    if (tag == 'p') {
+      if (have_header) throw std::runtime_error("duplicate header line");
+      if (!(ls >> n >> m)) throw std::runtime_error("malformed header");
+      builder = GraphBuilder(n);
+      have_header = true;
+    } else if (tag == 'e') {
+      if (!have_header) throw std::runtime_error("edge before header");
+      Vertex u, v;
+      Weight w;
+      if (!(ls >> u >> v >> w)) throw std::runtime_error("malformed edge line");
+      builder.add_edge(u, v, w);
+    } else {
+      throw std::runtime_error("unknown line tag");
+    }
+  }
+  if (!have_header) throw std::runtime_error("missing header line");
+  if (builder.num_edges() != m)
+    throw std::runtime_error("edge count does not match header");
+  return std::move(builder).build();
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_edge_list(os, g);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace pathsep::graph

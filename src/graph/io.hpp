@@ -1,0 +1,23 @@
+// Plain-text graph serialization (weighted edge lists).
+//
+// Format:
+//   line 1:  "p <num_vertices> <num_edges>"
+//   then one "e <u> <v> <weight>" line per undirected edge.
+// Lines starting with '#' are comments. This is a small DIMACS-flavoured
+// format so example binaries can exchange graphs with external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g);
+Graph read_edge_list(std::istream& is);
+
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace pathsep::graph

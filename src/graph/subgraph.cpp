@@ -1,0 +1,46 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pathsep::graph {
+
+Subgraph induced_subgraph(const Graph& g, std::vector<Vertex> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  if (std::adjacent_find(vertices.begin(), vertices.end()) != vertices.end())
+    throw std::invalid_argument("induced_subgraph: duplicate vertex");
+
+  Subgraph out;
+  out.to_parent = std::move(vertices);
+  out.from_parent.assign(g.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < out.to_parent.size(); ++i) {
+    const Vertex p = out.to_parent[i];
+    if (p >= g.num_vertices())
+      throw std::out_of_range("induced_subgraph: vertex out of range");
+    out.from_parent[p] = static_cast<Vertex>(i);
+  }
+
+  GraphBuilder builder(out.to_parent.size());
+  for (std::size_t i = 0; i < out.to_parent.size(); ++i) {
+    const Vertex p = out.to_parent[i];
+    for (const Arc& a : g.neighbors(p)) {
+      const Vertex j = out.from_parent[a.to];
+      if (j == kInvalidVertex) continue;
+      if (a.to > p) builder.add_edge(static_cast<Vertex>(i), j, a.weight);
+    }
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+Subgraph remove_vertices(const Graph& g, const std::vector<bool>& removed) {
+  assert(removed.size() == g.num_vertices());
+  std::vector<Vertex> keep;
+  keep.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (!removed[v]) keep.push_back(v);
+  return induced_subgraph(g, std::move(keep));
+}
+
+}  // namespace pathsep::graph

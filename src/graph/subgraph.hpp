@@ -1,0 +1,30 @@
+// Induced subgraphs with id maps back to the parent graph.
+//
+// The separator machinery repeatedly peels vertices off a graph and recurses
+// into connected components; Subgraph keeps the translation between local ids
+// (dense, 0..n'-1) and the ids of the graph it was cut from.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::graph {
+
+struct Subgraph {
+  Graph graph;
+  /// local id -> parent id; size == graph.num_vertices().
+  std::vector<Vertex> to_parent;
+  /// parent id -> local id, kInvalidVertex for vertices not in the subgraph;
+  /// size == parent.num_vertices().
+  std::vector<Vertex> from_parent;
+};
+
+/// Subgraph of `g` induced by `vertices` (need not be sorted; duplicates are
+/// not allowed). Local ids follow the sorted order of `vertices`.
+Subgraph induced_subgraph(const Graph& g, std::vector<Vertex> vertices);
+
+/// Subgraph of `g` induced by vertices with removed[v] == false.
+Subgraph remove_vertices(const Graph& g, const std::vector<bool>& removed);
+
+}  // namespace pathsep::graph

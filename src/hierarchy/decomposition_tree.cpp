@@ -1,0 +1,129 @@
+#include "hierarchy/decomposition_tree.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+#include "graph/subgraph.hpp"
+#include "separator/validate.hpp"
+
+namespace pathsep::hierarchy {
+
+DecompositionTree::DecompositionTree(const Graph& g,
+                                     const separator::SeparatorFinder& finder,
+                                     Options options) {
+  if (g.num_vertices() == 0)
+    throw std::invalid_argument("cannot decompose an empty graph");
+  if (!graph::is_connected(g))
+    throw std::invalid_argument("decomposition requires a connected graph");
+
+  chains_.assign(g.num_vertices(), {});
+
+  struct Pending {
+    Graph graph;
+    std::vector<Vertex> root_ids;
+    int parent;
+    std::uint32_t depth;
+  };
+  std::vector<Vertex> identity(g.num_vertices());
+  std::iota(identity.begin(), identity.end(), Vertex{0});
+  std::vector<Pending> queue;
+  queue.push_back({g, std::move(identity), -1, 0});
+
+  // Breadth-first so that chain entries are appended root-first.
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    Pending pending = std::move(queue[qi]);
+    const int id = static_cast<int>(nodes_.size());
+    const std::size_t n = pending.graph.num_vertices();
+
+    const separator::PathSeparator sep =
+        finder.find(pending.graph, pending.root_ids);
+    if (sep.empty())
+      throw std::runtime_error("separator finder returned an empty separator");
+    if (options.validate_separators) {
+      const separator::ValidationReport report =
+          separator::validate(pending.graph, sep);
+      if (!report.ok)
+        throw std::runtime_error("separator validation failed at node " +
+                                 std::to_string(id) + ": " + report.error);
+    }
+
+    DecompositionNode node;
+    node.parent = pending.parent;
+    node.depth = pending.depth;
+    node.num_stages = sep.stages.size();
+    for (std::size_t si = 0; si < sep.stages.size(); ++si) {
+      for (const auto& path : sep.stages[si]) {
+        NodePath np;
+        np.verts = path;
+        np.stage = si;
+        np.prefix.resize(path.size());
+        np.prefix[0] = 0;
+        for (std::size_t i = 1; i < path.size(); ++i) {
+          const Weight w = pending.graph.edge_weight(path[i - 1], path[i]);
+          if (w == graph::kInfiniteWeight)
+            throw std::runtime_error("separator path uses a missing edge");
+          np.prefix[i] = np.prefix[i - 1] + w;
+        }
+        node.paths.push_back(std::move(np));
+      }
+    }
+
+    for (Vertex v = 0; v < n; ++v)
+      chains_[pending.root_ids[v]].push_back({id, v});
+    height_ = std::max(height_, pending.depth + 1);
+
+    // Children: components of the node minus its separator.
+    const std::vector<bool> mask = sep.removal_mask(n);
+    const graph::Components comps =
+        graph::connected_components(pending.graph, mask);
+    std::vector<std::vector<Vertex>> members(comps.count());
+    for (Vertex v = 0; v < n; ++v)
+      if (comps.label[v] != graph::Components::kRemoved)
+        members[comps.label[v]].push_back(v);
+    for (auto& m : members) {
+      if (m.size() > n / 2)
+        throw std::runtime_error(
+            "separator left a component larger than n/2 (P3 violated)");
+      graph::Subgraph sub = graph::induced_subgraph(pending.graph, std::move(m));
+      std::vector<Vertex> child_root_ids(sub.graph.num_vertices());
+      for (Vertex v = 0; v < sub.graph.num_vertices(); ++v)
+        child_root_ids[v] = pending.root_ids[sub.to_parent[v]];
+      queue.push_back({std::move(sub.graph), std::move(child_root_ids), id,
+                       pending.depth + 1});
+    }
+
+    node.graph = std::move(pending.graph);
+    node.root_ids = std::move(pending.root_ids);
+    nodes_.push_back(std::move(node));
+  }
+
+  // Children ids were not known while parents were processed; wire them now.
+  for (std::size_t i = 1; i < nodes_.size(); ++i)
+    nodes_[static_cast<std::size_t>(nodes_[i].parent)].children.push_back(
+        static_cast<int>(i));
+}
+
+std::size_t DecompositionTree::common_chain_length(Vertex u, Vertex v) const {
+  const auto& cu = chains_[u];
+  const auto& cv = chains_[v];
+  std::size_t len = 0;
+  while (len < cu.size() && len < cv.size() &&
+         cu[len].first == cv[len].first)
+    ++len;
+  return len;
+}
+
+std::size_t DecompositionTree::max_separator_paths() const {
+  std::size_t k = 0;
+  for (const auto& node : nodes_) k = std::max(k, node.paths.size());
+  return k;
+}
+
+std::size_t DecompositionTree::total_paths() const {
+  std::size_t k = 0;
+  for (const auto& node : nodes_) k += node.paths.size();
+  return k;
+}
+
+}  // namespace pathsep::hierarchy

@@ -1,0 +1,248 @@
+#include "minorfree/almost_embedding.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pathsep::minorfree {
+
+std::size_t AlmostEmbedding::h() const {
+  std::size_t h = std::max(apices.size(), vortices.size());
+  for (const Vortex& vortex : vortices) h = std::max(h, vortex.width());
+  return h;
+}
+
+bool AlmostEmbedding::validate(std::string* error) const {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  const std::size_t n = graph.num_vertices();
+  if (embedded.size() != n) return fail("embedded mask size mismatch");
+  if (positions.size() != n) return fail("positions size mismatch");
+
+  std::vector<int> role(n, 0);  // bit 1 = embedded, 2 = apex, 4 = vortex int.
+  for (Vertex v = 0; v < n; ++v)
+    if (embedded[v]) role[v] |= 1;
+  for (Vertex a : apices) {
+    if (a >= n) return fail("apex out of range");
+    role[a] |= 2;
+  }
+  std::set<Vertex> interior_seen;
+  for (const Vortex& vortex : vortices) {
+    std::string verr;
+    if (!vortex.validate(graph, embedded, &verr))
+      return fail("vortex invalid: " + verr);
+    const std::set<Vertex> perimeter(vortex.perimeter.begin(),
+                                     vortex.perimeter.end());
+    for (Vertex v : vortex.vertices()) {
+      if (perimeter.count(v)) continue;
+      if (!interior_seen.insert(v).second)
+        return fail("vortices are not pairwise disjoint");
+      role[v] |= 4;
+    }
+  }
+  // Perimeters of distinct vortices must be disjoint too.
+  std::set<Vertex> perimeter_seen;
+  for (const Vortex& vortex : vortices)
+    for (Vertex u : vortex.perimeter)
+      if (!perimeter_seen.insert(u).second)
+        return fail("vortex perimeters overlap");
+  for (Vertex v = 0; v < n; ++v) {
+    if (role[v] == 0)
+      return fail("vertex " + std::to_string(v) + " has no role");
+    if (role[v] != 1 && role[v] != 2 && role[v] != 4)
+      return fail("vertex " + std::to_string(v) + " has conflicting roles");
+  }
+  if (error) error->clear();
+  return true;
+}
+
+namespace {
+
+struct PendingEdge {
+  Vertex u, v;
+  graph::Weight w;
+};
+
+/// Builds the interval tracks of one vortex over `perimeter`, appending the
+/// interior vertices (ids from `next_vertex` on) and their heavy edges.
+Vortex make_vortex(const std::vector<Vertex>& perimeter, std::size_t width,
+                   graph::Weight heavy, std::size_t& next_vertex,
+                   std::vector<PendingEdge>& edges, util::Rng& rng) {
+  const std::size_t t = perimeter.size();
+  struct Track {
+    std::size_t lo, hi;
+    Vertex vertex;
+  };
+  std::vector<Track> tracks;
+  for (std::size_t layer = 0; layer < width; ++layer) {
+    std::size_t pos = 0;
+    while (pos < t) {
+      const std::size_t len =
+          2 + rng.next_below(std::max<std::size_t>(t / 4, 2));
+      const std::size_t hi = std::min(pos + len - 1, t - 1);
+      tracks.push_back({pos, hi, static_cast<Vertex>(next_vertex++)});
+      pos = hi + 1;
+    }
+  }
+  for (const Track& track : tracks) {
+    edges.push_back({track.vertex, perimeter[track.lo], heavy});
+    edges.push_back({track.vertex, perimeter[track.hi], heavy});
+    edges.push_back({track.vertex, perimeter[(track.lo + track.hi) / 2], heavy});
+  }
+  for (std::size_t i = 0; i < tracks.size(); ++i)
+    for (std::size_t j = i + 1; j < tracks.size(); ++j) {
+      const bool overlap =
+          tracks[i].lo <= tracks[j].hi && tracks[j].lo <= tracks[i].hi;
+      if (overlap && rng.next_bool(0.5))
+        edges.push_back({tracks[i].vertex, tracks[j].vertex, heavy});
+    }
+
+  Vortex vortex;
+  vortex.perimeter = perimeter;
+  vortex.bags.resize(t);
+  for (std::size_t i = 0; i < t; ++i) vortex.bags[i].push_back(perimeter[i]);
+  for (const Track& track : tracks)
+    for (std::size_t i = track.lo; i <= track.hi; ++i)
+      vortex.bags[i].push_back(track.vertex);
+  for (auto& bag : vortex.bags) std::sort(bag.begin(), bag.end());
+  return vortex;
+}
+
+AlmostEmbedding assemble(std::size_t n_embedded,
+                         std::vector<graph::Point> embedded_positions,
+                         std::vector<PendingEdge> edges,
+                         std::vector<Vortex> vortices, std::size_t next_vertex,
+                         std::size_t num_apices, std::size_t apex_degree,
+                         graph::Weight heavy, util::Rng& rng) {
+  const std::size_t n_total = next_vertex + num_apices;
+  for (std::size_t a = 0; a < num_apices; ++a) {
+    const Vertex apex = static_cast<Vertex>(next_vertex + a);
+    std::set<Vertex> targets;
+    while (targets.size() < std::min(apex_degree, n_embedded))
+      targets.insert(static_cast<Vertex>(rng.next_below(n_embedded)));
+    for (Vertex u : targets) edges.push_back({apex, u, heavy});
+  }
+  graph::GraphBuilder builder(n_total);
+  for (const PendingEdge& e : edges) builder.add_edge(e.u, e.v, e.w);
+
+  AlmostEmbedding ae;
+  ae.graph = std::move(builder).build();
+  ae.positions.resize(n_total);
+  for (Vertex v = 0; v < n_embedded; ++v)
+    ae.positions[v] = embedded_positions[v];
+  ae.embedded.assign(n_total, false);
+  for (Vertex v = 0; v < n_embedded; ++v) ae.embedded[v] = true;
+  for (std::size_t a = 0; a < num_apices; ++a)
+    ae.apices.push_back(static_cast<Vertex>(next_vertex + a));
+  ae.vortices = std::move(vortices);
+  return ae;
+}
+
+}  // namespace
+
+AlmostEmbedding random_almost_embeddable(std::size_t rows, std::size_t cols,
+                                         std::size_t width,
+                                         std::size_t num_apices,
+                                         std::size_t apex_degree,
+                                         util::Rng& rng) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("embedded grid must be at least 3x3");
+  if (width == 0) throw std::invalid_argument("vortex width must be >= 1");
+  const graph::GridGraph grid = graph::grid(rows, cols);
+  const std::size_t n_grid = rows * cols;
+  // Heavier than the diameter of ANY embedded fragment (<= n_grid - 1 unit
+  // edges), so embedded-part shortest paths stay shortest in every residual
+  // graph of the recursion — the P1 argument of the staged separator.
+  const graph::Weight heavy = 3.0 * static_cast<double>(rows * cols);
+
+  std::vector<PendingEdge> edges;
+  for (Vertex v = 0; v < n_grid; ++v)
+    for (const graph::Arc& a : grid.graph.neighbors(v))
+      if (a.to > v) edges.push_back({v, a.to, a.weight});
+
+  // Boundary cycle, clockwise from the top-left corner.
+  std::vector<Vertex> perimeter;
+  for (std::size_t c = 0; c < cols; ++c) perimeter.push_back(grid.at(0, c));
+  for (std::size_t r = 1; r < rows; ++r)
+    perimeter.push_back(grid.at(r, cols - 1));
+  for (std::size_t c = cols - 1; c-- > 0;)
+    perimeter.push_back(grid.at(rows - 1, c));
+  for (std::size_t r = rows - 1; r-- > 1;) perimeter.push_back(grid.at(r, 0));
+
+  std::size_t next_vertex = n_grid;
+  std::vector<Vortex> vortices;
+  vortices.push_back(
+      make_vortex(perimeter, width, heavy, next_vertex, edges, rng));
+  return assemble(n_grid, grid.positions, std::move(edges),
+                  std::move(vortices), next_vertex, num_apices, apex_degree,
+                  heavy, rng);
+}
+
+AlmostEmbedding random_two_vortex_instance(std::size_t rows, std::size_t cols,
+                                           std::size_t width,
+                                           std::size_t num_apices,
+                                           std::size_t apex_degree,
+                                           util::Rng& rng) {
+  if (rows < 9 || cols < 9)
+    throw std::invalid_argument("two-vortex instance needs a 9x9 grid");
+  if (width == 0) throw std::invalid_argument("vortex width must be >= 1");
+  const graph::GridGraph grid = graph::grid(rows, cols);
+
+  // Punch a rectangular hole out of the middle (margins >= 3 so the hole
+  // ring and the outer boundary stay disjoint).
+  const std::size_t r0 = rows / 3, r1 = 2 * rows / 3 - 1;
+  const std::size_t c0 = cols / 3, c1 = 2 * cols / 3 - 1;
+  auto in_hole = [&](std::size_t r, std::size_t c) {
+    return r0 <= r && r <= r1 && c0 <= c && c <= c1;
+  };
+  std::vector<Vertex> new_id(rows * cols, graph::kInvalidVertex);
+  std::vector<graph::Point> positions;
+  std::size_t n_embedded = 0;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (in_hole(r, c)) continue;
+      new_id[grid.at(r, c)] = static_cast<Vertex>(n_embedded++);
+      positions.push_back(grid.positions[grid.at(r, c)]);
+    }
+
+  const graph::Weight heavy = 3.0 * static_cast<double>(rows * cols);
+  std::vector<PendingEdge> edges;
+  for (Vertex v = 0; v < rows * cols; ++v) {
+    if (new_id[v] == graph::kInvalidVertex) continue;
+    for (const graph::Arc& a : grid.graph.neighbors(v))
+      if (a.to > v && new_id[a.to] != graph::kInvalidVertex)
+        edges.push_back({new_id[v], new_id[a.to], a.weight});
+  }
+
+  // Outer boundary cycle.
+  std::vector<Vertex> outer;
+  for (std::size_t c = 0; c < cols; ++c) outer.push_back(new_id[grid.at(0, c)]);
+  for (std::size_t r = 1; r < rows; ++r)
+    outer.push_back(new_id[grid.at(r, cols - 1)]);
+  for (std::size_t c = cols - 1; c-- > 0;)
+    outer.push_back(new_id[grid.at(rows - 1, c)]);
+  for (std::size_t r = rows - 1; r-- > 1;) outer.push_back(new_id[grid.at(r, 0)]);
+
+  // Ring around the hole (the hole face's boundary), clockwise.
+  std::vector<Vertex> ring;
+  for (std::size_t c = c0 - 1; c <= c1 + 1; ++c)
+    ring.push_back(new_id[grid.at(r0 - 1, c)]);
+  for (std::size_t r = r0; r <= r1 + 1; ++r)
+    ring.push_back(new_id[grid.at(r, c1 + 1)]);
+  for (std::size_t c = c1 + 1; c-- > c0 - 1;)
+    ring.push_back(new_id[grid.at(r1 + 1, c)]);
+  for (std::size_t r = r1 + 1; r-- > r0;)
+    ring.push_back(new_id[grid.at(r, c0 - 1)]);
+
+  std::size_t next_vertex = n_embedded;
+  std::vector<Vortex> vortices;
+  vortices.push_back(make_vortex(outer, width, heavy, next_vertex, edges, rng));
+  vortices.push_back(make_vortex(ring, width, heavy, next_vertex, edges, rng));
+  return assemble(n_embedded, std::move(positions), std::move(edges),
+                  std::move(vortices), next_vertex, num_apices, apex_degree,
+                  heavy, rng);
+}
+
+}  // namespace pathsep::minorfree

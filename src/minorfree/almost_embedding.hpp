@@ -1,0 +1,60 @@
+// h-almost embeddable graphs (§2.1): G \ X = G_Σ ∪ W_1 ∪ … ∪ W_t with
+// |X| ≤ h apices, ≤ h pairwise disjoint vortices of width ≤ h whose
+// perimeters lie on cellular faces of the part G_Σ embedded on the surface.
+// This module realizes the genus-0 case (h-nearly planar plus apices) as a
+// concrete data structure with a validator and a synthetic generator — the
+// substrate on which the paper's Step 1–3 separator pipeline is exercised.
+#pragma once
+
+#include "graph/generators.hpp"
+#include "minorfree/vortex.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::minorfree {
+
+struct AlmostEmbedding {
+  Graph graph;  ///< the whole graph (embedded part + vortices + apices)
+  /// Straight-line drawing of the embedded part (entries for non-embedded
+  /// vertices are present but meaningless).
+  std::vector<graph::Point> positions;
+  std::vector<bool> embedded;  ///< mask: vertex belongs to G_Σ
+  std::vector<Vertex> apices;  ///< the apex set X
+  std::vector<Vortex> vortices;
+
+  /// The h of "h-almost embeddable": max of apex count, vortex count and
+  /// (max vortex width).
+  std::size_t h() const;
+
+  /// Structural validation: masks partition the graph (every vertex is
+  /// embedded, an apex, or interior to exactly one vortex); vortices are
+  /// pairwise disjoint and individually valid; non-apex edges leaving the
+  /// embedded part only reach vortices through their bags.
+  bool validate(std::string* error = nullptr) const;
+};
+
+/// Synthetic h-nearly planar instance with apices: an rows x cols grid as
+/// the embedded part, one vortex of width `width` glued along the grid's
+/// boundary cycle (`layers` = width interval tracks of vortex-interior
+/// vertices, each connected to the perimeter run it spans), and `num_apices`
+/// universal-ish apex vertices wired to `apex_degree` random vertices each.
+/// Vortex and apex edges are heavier than the grid diameter so that
+/// embedded-part shortest paths remain shortest in the whole graph — the
+/// property the staged separator's P1 argument uses (see DESIGN.md).
+AlmostEmbedding random_almost_embeddable(std::size_t rows, std::size_t cols,
+                                         std::size_t width,
+                                         std::size_t num_apices,
+                                         std::size_t apex_degree,
+                                         util::Rng& rng);
+
+/// Two-vortex instance: the embedded part is a rows x cols grid with a
+/// rectangular hole punched out of the middle, giving two non-adjacent
+/// cellular faces; one vortex of width `width` is glued to the outer
+/// boundary and a second to the hole boundary — the "t <= h pairwise
+/// disjoint vortices" shape of Theorem 4. Requires rows, cols >= 9.
+AlmostEmbedding random_two_vortex_instance(std::size_t rows, std::size_t cols,
+                                           std::size_t width,
+                                           std::size_t num_apices,
+                                           std::size_t apex_degree,
+                                           util::Rng& rng);
+
+}  // namespace pathsep::minorfree

@@ -1,0 +1,136 @@
+#include "minorfree/apex_separator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/subgraph.hpp"
+#include "separator/finders.hpp"
+#include "separator/weighted.hpp"
+
+namespace pathsep::minorfree {
+
+separator::PathSeparator almost_embeddable_separator(
+    const AlmostEmbedding& ae) {
+  const std::size_t n = ae.graph.num_vertices();
+  separator::PathSeparator s;
+
+  // Stage 0: apices (Step 1).
+  if (!ae.apices.empty()) {
+    separator::PathSeparator::Stage stage;
+    for (Vertex apex : ae.apices) stage.push_back({apex});
+    s.stages.push_back(std::move(stage));
+  }
+
+  // Embedded subgraph (apices and vortex interiors are not embedded).
+  std::vector<Vertex> members;
+  for (Vertex v = 0; v < n; ++v)
+    if (ae.embedded[v]) members.push_back(v);
+  const graph::Subgraph sub = graph::induced_subgraph(ae.graph, members);
+
+  // Anchor each vortex-interior vertex's weight to the perimeter vertex of
+  // its first bag.
+  std::vector<double> weight(sub.graph.num_vertices(), 1.0);
+  for (const Vortex& vortex : ae.vortices) {
+    std::set<Vertex> counted;
+    for (std::size_t i = 0; i < vortex.length(); ++i) {
+      for (Vertex v : vortex.bags[i]) {
+        if (ae.embedded[v]) continue;      // the perimeter vertex itself
+        if (!counted.insert(v).second) continue;  // first bag only
+        weight[sub.from_parent[vortex.perimeter[i]]] += 1.0;
+      }
+    }
+  }
+
+  // Stage 1: weighted planar separator of the embedded part.
+  std::vector<graph::Point> sub_positions(sub.graph.num_vertices());
+  for (Vertex local = 0; local < sub.graph.num_vertices(); ++local)
+    sub_positions[local] = ae.positions[sub.to_parent[local]];
+  std::vector<Vertex> local_ids(sub.graph.num_vertices());
+  for (Vertex local = 0; local < sub.graph.num_vertices(); ++local)
+    local_ids[local] = local;
+  const separator::WeightedPlanarCycle planar(sub_positions);
+  const separator::PathSeparator planar_sep =
+      planar.find_weighted(sub.graph, local_ids, weight);
+
+  separator::PathSeparator::Stage stage;
+  std::set<Vertex> on_paths;
+  for (const auto& path : planar_sep.stages.at(0)) {
+    separator::PathSeparator::Path host_path;
+    for (Vertex local : path) {
+      host_path.push_back(sub.to_parent[local]);
+      on_paths.insert(sub.to_parent[local]);
+    }
+    stage.push_back(std::move(host_path));
+  }
+  // Touched perimeter positions contribute their whole bags (the X_i ∪ Y_i
+  // of the paper's P_s update) as trivial single-vertex paths.
+  std::set<Vertex> bag_vertices;
+  for (const Vortex& vortex : ae.vortices)
+    for (std::size_t i = 0; i < vortex.length(); ++i)
+      if (on_paths.count(vortex.perimeter[i]))
+        for (Vertex v : vortex.bags[i])
+          if (!on_paths.count(v)) bag_vertices.insert(v);
+  for (Vertex v : bag_vertices) stage.push_back({v});
+  s.stages.push_back(std::move(stage));
+  return s;
+}
+
+AlmostEmbedding restrict_almost_embedding(const AlmostEmbedding& root,
+                                          const Graph& g,
+                                          std::span<const Vertex> root_ids) {
+  const std::size_t n = g.num_vertices();
+  std::vector<Vertex> local_of(root.graph.num_vertices(),
+                               graph::kInvalidVertex);
+  for (Vertex local = 0; local < n; ++local) local_of[root_ids[local]] = local;
+
+  AlmostEmbedding out;
+  out.graph = g;
+  out.positions.resize(n);
+  out.embedded.assign(n, false);
+  for (Vertex local = 0; local < n; ++local) {
+    out.positions[local] = root.positions[root_ids[local]];
+    out.embedded[local] = root.embedded[root_ids[local]];
+  }
+  for (Vertex apex : root.apices)
+    if (local_of[apex] != graph::kInvalidVertex)
+      out.apices.push_back(local_of[apex]);
+
+  for (const Vortex& vortex : root.vortices) {
+    Vortex restricted;
+    for (std::size_t i = 0; i < vortex.length(); ++i) {
+      const Vertex u = local_of[vortex.perimeter[i]];
+      if (u == graph::kInvalidVertex) continue;
+      std::vector<Vertex> bag;
+      for (Vertex v : vortex.bags[i])
+        if (local_of[v] != graph::kInvalidVertex)
+          bag.push_back(local_of[v]);
+      std::sort(bag.begin(), bag.end());
+      restricted.perimeter.push_back(u);
+      restricted.bags.push_back(std::move(bag));
+    }
+    if (!restricted.perimeter.empty())
+      out.vortices.push_back(std::move(restricted));
+  }
+  return out;
+}
+
+AlmostEmbeddableSeparator::AlmostEmbeddableSeparator(AlmostEmbedding root)
+    : root_(std::move(root)) {}
+
+separator::PathSeparator AlmostEmbeddableSeparator::find(
+    const Graph& g, std::span<const Vertex> root_ids) const {
+  if (g.num_vertices() == 0) return {};
+  const AlmostEmbedding local = restrict_almost_embedding(root_, g, root_ids);
+  bool any_embedded = false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    any_embedded = any_embedded || local.embedded[v];
+  if (!any_embedded) {
+    // Component lives entirely inside vortices (or is a lone apex): its
+    // pathwidth is bounded by the vortex width, so the center bag is small.
+    return separator::TreewidthBagSeparator().find(g, root_ids);
+  }
+  return almost_embeddable_separator(local);
+}
+
+}  // namespace pathsep::minorfree

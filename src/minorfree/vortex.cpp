@@ -1,0 +1,84 @@
+#include "minorfree/vortex.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pathsep::minorfree {
+
+std::size_t Vortex::width() const {
+  std::size_t w = 0;
+  for (const auto& bag : bags) w = std::max(w, bag.size());
+  return w == 0 ? 0 : w - 1;
+}
+
+std::vector<Vertex> Vortex::vertices() const {
+  std::vector<Vertex> out;
+  for (const auto& bag : bags) out.insert(out.end(), bag.begin(), bag.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::size_t> Vortex::bags_of(Vertex v) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < bags.size(); ++i)
+    if (std::binary_search(bags[i].begin(), bags[i].end(), v))
+      out.push_back(i);
+  return out;
+}
+
+bool Vortex::validate(const Graph& g, const std::vector<bool>& embedded,
+                      std::string* error) const {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  if (perimeter.size() != bags.size())
+    return fail("perimeter/bag count mismatch");
+  std::set<Vertex> seen;
+  for (std::size_t i = 0; i < perimeter.size(); ++i) {
+    const Vertex u = perimeter[i];
+    if (u >= g.num_vertices()) return fail("perimeter vertex out of range");
+    if (!seen.insert(u).second) return fail("perimeter vertices not distinct");
+    if (!embedded[u]) return fail("perimeter vertex not in the embedded part");
+    if (!std::binary_search(bags[i].begin(), bags[i].end(), u))
+      return fail("perimeter vertex " + std::to_string(u) +
+                  " missing from its bag");
+  }
+  // Interval property + interior vertices are non-embedded.
+  for (Vertex v : vertices()) {
+    const auto where = bags_of(v);
+    for (std::size_t j = 1; j < where.size(); ++j)
+      if (where[j] != where[j - 1] + 1)
+        return fail("bags of vertex " + std::to_string(v) +
+                    " are not consecutive");
+    const bool is_perimeter = seen.count(v) > 0;
+    if (!is_perimeter && embedded[v])
+      return fail("vortex-interior vertex " + std::to_string(v) +
+                  " is marked embedded");
+  }
+  // Edge coverage: edges incident to vortex-interior vertices must sit in a
+  // common bag (perimeter vertices may also have embedded-part edges).
+  const std::vector<Vertex> verts = vertices();
+  std::set<Vertex> vortex_set(verts.begin(), verts.end());
+  for (Vertex v : verts) {
+    const bool interior = !seen.count(v);
+    if (!interior) continue;
+    for (const graph::Arc& a : g.neighbors(v)) {
+      if (!vortex_set.count(a.to))
+        return fail("interior vertex " + std::to_string(v) +
+                    " has an edge leaving the vortex");
+      bool shared = false;
+      for (std::size_t i : bags_of(v))
+        if (std::binary_search(bags[i].begin(), bags[i].end(), a.to))
+          shared = true;
+      if (!shared)
+        return fail("edge {" + std::to_string(v) + "," +
+                    std::to_string(a.to) + "} not inside any bag");
+    }
+  }
+  if (error) error->clear();
+  return true;
+}
+
+}  // namespace pathsep::minorfree

@@ -1,0 +1,46 @@
+// Vortices (§2.1): a vortex is a graph with a path decomposition
+// X_1, …, X_t aligned with a sequence of distinct perimeter vertices
+// u_1, …, u_t (u_i ∈ X_i). In the Robertson–Seymour structure theorem the
+// perimeter lies on a cellular face of the embedded part; vortices are the
+// non-embeddable residue that the paper's vortex-paths (Definition 2) must
+// thread through.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::minorfree {
+
+using graph::Graph;
+using graph::Vertex;
+
+struct Vortex {
+  /// Perimeter vertices u_1..u_t in face order (ids of the host graph).
+  std::vector<Vertex> perimeter;
+  /// Bags X_1..X_t (host ids, sorted); bag i must contain perimeter[i].
+  std::vector<std::vector<Vertex>> bags;
+
+  std::size_t length() const { return perimeter.size(); }
+
+  /// max |X_i| - 1.
+  std::size_t width() const;
+
+  /// All vertices appearing in any bag, sorted and deduplicated.
+  std::vector<Vertex> vertices() const;
+
+  /// Bag indices containing v (consecutive when valid), empty if absent.
+  std::vector<std::size_t> bags_of(Vertex v) const;
+
+  /// Checks the vortex axioms against host graph `g` and a membership mask
+  /// of the *embedded* part: (a) perimeter distinct, on the embedded part,
+  /// u_i ∈ X_i; (b) non-perimeter bag vertices are non-embedded and appear
+  /// in a consecutive run of bags; (c) every edge of g between two vortex
+  /// vertices — and between a vortex-interior vertex and anything else —
+  /// lies inside some bag.
+  bool validate(const Graph& g, const std::vector<bool>& embedded,
+                std::string* error = nullptr) const;
+};
+
+}  // namespace pathsep::minorfree

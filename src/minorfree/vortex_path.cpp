@@ -1,0 +1,127 @@
+#include "minorfree/vortex_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace pathsep::minorfree {
+
+std::vector<Vertex> VortexPath::projection() const {
+  std::vector<Vertex> out;
+  for (const auto& segment : segments)
+    out.insert(out.end(), segment.begin(), segment.end());
+  return out;
+}
+
+std::vector<Vertex> VortexPath::vertices(const AlmostEmbedding& ae) const {
+  std::vector<Vertex> out;
+  for (const auto& segment : segments)
+    out.insert(out.end(), segment.begin(), segment.end());
+  for (const Crossing& crossing : crossings) {
+    const Vortex& vortex = ae.vortices[crossing.vortex];
+    for (Vertex v : vortex.bags[crossing.entry_bag]) out.push_back(v);
+    for (Vertex v : vortex.bags[crossing.exit_bag]) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool VortexPath::validate(const AlmostEmbedding& ae,
+                          std::string* error) const {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  if (segments.empty()) return fail("no segments");
+  if (crossings.size() + 1 != segments.size())
+    return fail("segment/crossing count mismatch");
+  std::set<std::size_t> used_vortices;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& segment = segments[i];
+    if (segment.empty()) return fail("empty segment");
+    for (Vertex v : segment)
+      if (!ae.embedded[v])
+        return fail("segment vertex " + std::to_string(v) + " not embedded");
+    for (std::size_t j = 0; j + 1 < segment.size(); ++j)
+      if (!ae.graph.has_edge(segment[j], segment[j + 1]))
+        return fail("segment is not a path of the host graph");
+    if (i < crossings.size()) {
+      const Crossing& crossing = crossings[i];
+      if (crossing.vortex >= ae.vortices.size())
+        return fail("crossing vortex out of range");
+      if (!used_vortices.insert(crossing.vortex).second)
+        return fail("crossings revisit a vortex");
+      const Vortex& vortex = ae.vortices[crossing.vortex];
+      if (crossing.entry_bag >= vortex.length() ||
+          crossing.exit_bag >= vortex.length())
+        return fail("crossing bag out of range");
+      if (segment.back() != vortex.perimeter[crossing.entry_bag])
+        return fail("segment does not end at the entry perimeter vertex");
+      if (segments[i + 1].front() != vortex.perimeter[crossing.exit_bag])
+        return fail("next segment does not start at the exit perimeter vertex");
+    }
+  }
+  if (error) error->clear();
+  return true;
+}
+
+VortexPath vortex_path_of(const AlmostEmbedding& ae,
+                          std::span<const Vertex> path) {
+  if (path.empty()) throw std::invalid_argument("empty path");
+  if (!ae.embedded[path.front()] || !ae.embedded[path.back()])
+    throw std::invalid_argument("path extremities must be embedded");
+
+  // Perimeter lookup: vertex -> (vortex, position). Vortices are disjoint,
+  // so the mapping is unique.
+  std::map<Vertex, std::pair<std::size_t, std::size_t>> perimeter_of;
+  for (std::size_t w = 0; w < ae.vortices.size(); ++w)
+    for (std::size_t i = 0; i < ae.vortices[w].perimeter.size(); ++i)
+      perimeter_of[ae.vortices[w].perimeter[i]] = {w, i};
+
+  VortexPath out;
+  std::vector<Vertex> segment;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    const Vertex v = path[pos];
+    if (!ae.embedded[v])
+      throw std::invalid_argument(
+          "path leaves the embedded part outside a vortex crossing");
+    segment.push_back(v);
+    const auto it = perimeter_of.find(v);
+    const bool is_last = pos + 1 == path.size();
+    if (it == perimeter_of.end() || is_last) {
+      ++pos;
+      continue;
+    }
+    // Entry into vortex w at position `entry`; the exit is the last
+    // perimeter vertex of w anywhere later on the path.
+    const auto [w, entry] = it->second;
+    std::size_t exit_pos = pos;
+    std::size_t exit_bag = entry;
+    for (std::size_t j = pos + 1; j < path.size(); ++j) {
+      const auto jt = perimeter_of.find(path[j]);
+      if (jt != perimeter_of.end() && jt->second.first == w) {
+        exit_pos = j;
+        exit_bag = jt->second.second;
+      }
+    }
+    if (exit_pos == pos) {
+      // The path merely touches the perimeter without re-entering this
+      // vortex: not a crossing, keep walking.
+      ++pos;
+      continue;
+    }
+    out.segments.push_back(std::move(segment));
+    out.crossings.push_back({w, entry, exit_bag});
+    segment.clear();
+    pos = exit_pos;  // the exit perimeter vertex starts the next segment
+  }
+  if (!segment.empty()) out.segments.push_back(std::move(segment));
+  if (out.segments.size() != out.crossings.size() + 1)
+    throw std::logic_error("walk produced inconsistent segments");
+  return out;
+}
+
+}  // namespace pathsep::minorfree

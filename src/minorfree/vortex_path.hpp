@@ -1,0 +1,53 @@
+// Vortex-paths (Definition 2) and their projections — the paper's central
+// technical device for threading separator curves through non-embeddable
+// vortices (Fig. 1).
+//
+// Given a path P of the host graph whose extremities lie in the embedded
+// part, the construction after Definition 2 walks P: the prefix up to the
+// first perimeter vertex x_1 forms segment Q_0 and x_1's bag is the entry
+// X_1; the *last* perimeter vertex of the same vortex on P gives the exit
+// Y_1 (everything in between — which may dive through vortices — is
+// absorbed by the bags); then the walk continues with Q_1, and so on. By
+// construction the crossings use pairwise distinct vortices.
+#pragma once
+
+#include <span>
+
+#include "minorfree/almost_embedding.hpp"
+
+namespace pathsep::minorfree {
+
+struct VortexPath {
+  struct Crossing {
+    std::size_t vortex = 0;     ///< index into AlmostEmbedding::vortices
+    std::size_t entry_bag = 0;  ///< X_i (perimeter position)
+    std::size_t exit_bag = 0;   ///< Y_i (perimeter position)
+  };
+
+  /// Segments Q_0..Q_t: vertex paths wholly inside the embedded part.
+  /// segment[i] ends at the perimeter vertex of crossing[i]'s entry bag;
+  /// segment[i+1] starts at the perimeter vertex of crossing[i]'s exit bag.
+  std::vector<std::vector<Vertex>> segments;
+  std::vector<Crossing> crossings;  ///< size == segments.size() - 1
+
+  /// The projection V̄: segments concatenated, consecutive ones joined by
+  /// the virtual edge e_i across the vortex face (Definition 2).
+  std::vector<Vertex> projection() const;
+
+  /// All vertices of V = Q_0 ∪ X_1 ∪ Y_1 ∪ ⋯ (segments plus crossing bags),
+  /// sorted and deduplicated.
+  std::vector<Vertex> vertices(const AlmostEmbedding& ae) const;
+
+  /// Checks Definition 2 against `ae`: segments embedded and connected in
+  /// the host graph, endpoints matching the crossing bags' perimeter
+  /// vertices, crossings on pairwise distinct vortices.
+  bool validate(const AlmostEmbedding& ae, std::string* error = nullptr) const;
+};
+
+/// The walk construction described above. Throws std::invalid_argument if P
+/// leaves the embedded part outside a vortex crossing or its extremities are
+/// not embedded.
+VortexPath vortex_path_of(const AlmostEmbedding& ae,
+                          std::span<const Vertex> path);
+
+}  // namespace pathsep::minorfree

@@ -1,0 +1,3 @@
+#include "oracle/exact_oracle.hpp"
+
+// Header-only today; the translation unit anchors the library target.

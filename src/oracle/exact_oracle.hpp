@@ -1,0 +1,41 @@
+// Exact baselines for the oracle experiments (E11): a precomputed APSP
+// table (O(n²) space, O(1) query) and an on-demand Dijkstra "oracle"
+// (O(m) space, O(m log n) query). These bracket the paper's oracle in the
+// space/time trade-off plots.
+#pragma once
+
+#include <memory>
+
+#include "sssp/apsp.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::oracle {
+
+using graph::Vertex;
+using graph::Weight;
+
+class ApspOracle {
+ public:
+  explicit ApspOracle(const graph::Graph& g) : matrix_(g) {}
+
+  Weight query(Vertex u, Vertex v) const { return matrix_.at(u, v); }
+  std::size_t size_in_words() const { return matrix_.size_in_words(); }
+
+ private:
+  sssp::DistanceMatrix matrix_;
+};
+
+class DijkstraOracle {
+ public:
+  explicit DijkstraOracle(const graph::Graph& g) : graph_(&g) {}
+
+  Weight query(Vertex u, Vertex v) const {
+    return sssp::distance(*graph_, u, v);
+  }
+  std::size_t size_in_words() const { return graph_->size_in_words(); }
+
+ private:
+  const graph::Graph* graph_;
+};
+
+}  // namespace pathsep::oracle

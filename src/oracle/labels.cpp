@@ -1,0 +1,117 @@
+#include "oracle/labels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "util/parallel.hpp"
+
+namespace pathsep::oracle {
+
+std::size_t DistanceLabel::size_in_words() const {
+  std::size_t words = 0;
+  for (const LabelPart& part : parts) words += 2 + 3 * part.connections.size();
+  return words;
+}
+
+std::size_t DistanceLabel::connection_count() const {
+  std::size_t c = 0;
+  for (const LabelPart& part : parts) c += part.connections.size();
+  return c;
+}
+
+namespace {
+
+/// min over p in a, q in b of a.dist + |a.prefix - b.prefix| + b.dist,
+/// in O(|a| + |b|) using the prefix-sorted order.
+Weight sweep_pair(const std::vector<Connection>& a,
+                  const std::vector<Connection>& b) {
+  Weight best = graph::kInfiniteWeight;
+  // Forward: q to the right of p. best_left = min over already-passed p of
+  // (dist_p - prefix_p); candidate = best_left + prefix_q + dist_q.
+  for (int dir = 0; dir < 2; ++dir) {
+    const auto& from = dir == 0 ? a : b;
+    const auto& to = dir == 0 ? b : a;
+    Weight best_left = graph::kInfiniteWeight;
+    std::size_t i = 0;
+    for (const Connection& q : to) {
+      while (i < from.size() && from[i].prefix <= q.prefix) {
+        best_left = std::min(best_left, from[i].dist - from[i].prefix);
+        ++i;
+      }
+      if (best_left != graph::kInfiniteWeight)
+        best = std::min(best, best_left + q.prefix + q.dist);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
+                    std::size_t* visited) {
+  if (u.vertex == v.vertex) return 0;
+  Weight best = graph::kInfiniteWeight;
+  std::size_t iu = 0, iv = 0;
+  while (iu < u.parts.size() && iv < v.parts.size()) {
+    const LabelPart& pu = u.parts[iu];
+    const LabelPart& pv = v.parts[iv];
+    if (pu.node != pv.node) {
+      (pu.node < pv.node ? iu : iv)++;
+      continue;
+    }
+    if (pu.path != pv.path) {
+      (pu.path < pv.path ? iu : iv)++;
+      continue;
+    }
+    if (visited)
+      *visited += pu.connections.size() + pv.connections.size();
+    best = std::min(best, sweep_pair(pu.connections, pv.connections));
+    ++iu;
+    ++iv;
+  }
+  return best;
+}
+
+std::vector<DistanceLabel> build_labels(
+    const hierarchy::DecompositionTree& tree, double epsilon) {
+  const std::size_t n = tree.root_graph().num_vertices();
+  std::vector<DistanceLabel> labels(n);
+  for (Vertex v = 0; v < n; ++v) labels[v].vertex = v;
+
+  // Per-node connection computation is independent — run it in parallel,
+  // then assemble labels serially for a deterministic part order.
+  std::vector<NodeConnections> per_node(tree.nodes().size());
+  util::parallel_for(tree.nodes().size(), [&](std::size_t node_id) {
+    per_node[node_id] =
+        compute_connections(tree.node(static_cast<int>(node_id)), epsilon);
+  });
+
+  for (std::size_t node_id = 0; node_id < tree.nodes().size(); ++node_id) {
+    const hierarchy::DecompositionNode& node =
+        tree.node(static_cast<int>(node_id));
+    const NodeConnections& nc = per_node[node_id];
+    for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
+      for (Vertex local = 0; local < node.graph.num_vertices(); ++local) {
+        const auto& conns = nc.connections[pi][local];
+        if (conns.empty()) continue;
+        LabelPart part;
+        part.node = static_cast<std::int32_t>(node_id);
+        part.path = static_cast<std::int32_t>(pi);
+        part.connections = conns;
+        labels[node.root_ids[local]].parts.push_back(std::move(part));
+      }
+    }
+  }
+  // Node ids increase root-to-leaf (BFS construction), so parts are already
+  // appended in (node, path) order per vertex — but path loops interleave
+  // vertices, so sort to be safe.
+  for (DistanceLabel& label : labels)
+    std::sort(label.parts.begin(), label.parts.end(),
+              [](const LabelPart& a, const LabelPart& b) {
+                return std::tie(a.node, a.path) < std::tie(b.node, b.path);
+              });
+  return labels;
+}
+
+}  // namespace pathsep::oracle

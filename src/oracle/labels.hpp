@@ -1,0 +1,51 @@
+// (1+ε)-approximate distance labels (Theorem 2).
+//
+// The label of vertex v packs, for every decomposition node H on v's chain
+// and every separator path Q of H reachable from v in its stage's residual
+// graph J, the ε-portal connections (portal prefix position, exact
+// d_J(v, portal)). Two labels alone answer a (1+ε)-approximate distance
+// query: the true shortest path is cut by some common path Q at a vertex x,
+// and each endpoint owns a portal within (ε/2)·d_J(·, x) of x along Q, so
+//   min over common paths, portals p of u, q of v of
+//       d_J(u,p) + |prefix(p) - prefix(q)| + d_J(q,v)
+// is sandwiched between d(u,v) and (1+ε)·d(u,v). The inner minimum is
+// evaluated in O(|C_u| + |C_v|) by a two-directional sweep over the
+// prefix-sorted connection lists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/portals.hpp"
+
+namespace pathsep::oracle {
+
+/// Connections of one vertex to one (node, path) pair.
+struct LabelPart {
+  std::int32_t node = 0;  ///< decomposition node id
+  std::int32_t path = 0;  ///< path index within the node
+  std::vector<Connection> connections;  ///< sorted by prefix
+};
+
+struct DistanceLabel {
+  Vertex vertex = graph::kInvalidVertex;  ///< root-graph id
+  std::vector<LabelPart> parts;           ///< sorted by (node, path)
+
+  /// Space in 8-byte words: 2 per part header + 3 per connection (packed
+  /// path_index+next_hop, dist, prefix), matching the paper's space unit.
+  std::size_t size_in_words() const;
+
+  std::size_t connection_count() const;
+};
+
+/// d(u,v) upper estimate from two labels; kInfiniteWeight when the labels
+/// share no usable path (different components). `visited` (optional)
+/// accumulates the number of connections scanned — the measured query cost.
+Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
+                    std::size_t* visited = nullptr);
+
+/// Builds all labels of the graph underlying `tree`.
+std::vector<DistanceLabel> build_labels(
+    const hierarchy::DecompositionTree& tree, double epsilon);
+
+}  // namespace pathsep::oracle

@@ -1,0 +1,28 @@
+#include "oracle/path_oracle.hpp"
+
+namespace pathsep::oracle {
+
+PathOracle::PathOracle(const hierarchy::DecompositionTree& tree,
+                       double epsilon)
+    : epsilon_(epsilon), labels_(build_labels(tree, epsilon)) {}
+
+std::size_t PathOracle::size_in_words() const {
+  std::size_t words = 0;
+  for (const DistanceLabel& label : labels_) words += label.size_in_words();
+  return words;
+}
+
+std::size_t PathOracle::max_label_words() const {
+  std::size_t best = 0;
+  for (const DistanceLabel& label : labels_)
+    best = std::max(best, label.size_in_words());
+  return best;
+}
+
+double PathOracle::average_label_words() const {
+  if (labels_.empty()) return 0;
+  return static_cast<double>(size_in_words()) /
+         static_cast<double>(labels_.size());
+}
+
+}  // namespace pathsep::oracle

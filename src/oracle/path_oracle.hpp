@@ -1,0 +1,46 @@
+// The centralized (1+ε)-approximate distance oracle of Theorem 2: the
+// collection of all distance labels, queried in O(k/ε · polylog) time.
+#pragma once
+
+#include <memory>
+
+#include "oracle/labels.hpp"
+
+namespace pathsep::oracle {
+
+class PathOracle {
+ public:
+  /// Builds the oracle for the graph underlying `tree` (root ids).
+  PathOracle(const hierarchy::DecompositionTree& tree, double epsilon);
+
+  /// (1+ε)-approximate distance between root-graph vertices. Never
+  /// underestimates; kInfiniteWeight if u and v are disconnected.
+  Weight query(Vertex u, Vertex v) const {
+    return query_labels(labels_[u], labels_[v]);
+  }
+
+  /// Same, also reporting the number of connections scanned.
+  Weight query_counted(Vertex u, Vertex v, std::size_t* visited) const {
+    return query_labels(labels_[u], labels_[v], visited);
+  }
+
+  double epsilon() const { return epsilon_; }
+  std::size_t num_vertices() const { return labels_.size(); }
+
+  const DistanceLabel& label(Vertex v) const { return labels_[v]; }
+  const std::vector<DistanceLabel>& labels() const { return labels_; }
+
+  /// Total space in words (sum of label sizes).
+  std::size_t size_in_words() const;
+
+  /// Largest single label in words — the distributed cost of Theorem 2.
+  std::size_t max_label_words() const;
+
+  double average_label_words() const;
+
+ private:
+  double epsilon_;
+  std::vector<DistanceLabel> labels_;
+};
+
+}  // namespace pathsep::oracle

@@ -1,0 +1,209 @@
+#include "oracle/portals.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::oracle {
+
+namespace {
+
+/// First path index at prefix distance >= s to the right of the anchor, or
+/// UINT32_MAX if the side is shorter than s.
+std::uint32_t snap_right(std::span<const Weight> prefix, std::uint32_t anchor,
+                         Weight s) {
+  const Weight target = prefix[anchor] + s;
+  auto it = std::lower_bound(prefix.begin() + anchor, prefix.end(),
+                             target - 1e-12);
+  if (it == prefix.end()) return UINT32_MAX;
+  return static_cast<std::uint32_t>(it - prefix.begin());
+}
+
+/// First path index at prefix distance >= s to the left of the anchor.
+std::uint32_t snap_left(std::span<const Weight> prefix, std::uint32_t anchor,
+                        Weight s) {
+  const Weight target = prefix[anchor] - s;
+  // Last index with prefix <= target.
+  auto it = std::upper_bound(prefix.begin(), prefix.begin() + anchor + 1,
+                             target + 1e-12);
+  if (it == prefix.begin()) return UINT32_MAX;
+  return static_cast<std::uint32_t>(it - prefix.begin() - 1);
+}
+
+void push_unique(std::vector<std::uint32_t>& out, std::uint32_t idx) {
+  if (idx != UINT32_MAX) out.push_back(idx);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> epsilon_ladder(std::span<const Weight> prefix,
+                                          std::uint32_t anchor, Weight d,
+                                          double epsilon) {
+  if (prefix.empty()) return {};
+  assert(anchor < prefix.size());
+  std::vector<std::uint32_t> out{anchor};
+  if (d <= 0) {
+    // v lies on the path: along-path distances are exact via the prefix
+    // sums, so the vertex itself is the only portal needed.
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  if (epsilon <= 0) throw std::invalid_argument("epsilon must be positive");
+  const Weight right_len = prefix.back() - prefix[anchor];
+  const Weight left_len = prefix[anchor] - prefix.front();
+  const double step = epsilon / 2.0;
+  for (int side = 0; side < 2; ++side) {
+    const Weight side_len = side == 0 ? right_len : left_len;
+    Weight s = 0;
+    while (s <= side_len) {
+      push_unique(out, side == 0 ? snap_right(prefix, anchor, s)
+                                 : snap_left(prefix, anchor, s));
+      const Weight next = s + step * std::max(d, s - d);
+      s = next;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> claim1_ladder(std::span<const Weight> prefix,
+                                         std::uint32_t anchor, Weight d,
+                                         double aspect_ratio) {
+  if (prefix.empty()) return {};
+  assert(anchor < prefix.size());
+  std::vector<std::uint32_t> out{anchor};
+  if (d > 0) {
+    const int log_delta =
+        std::max(0, static_cast<int>(std::ceil(std::log2(std::max(aspect_ratio, 1.0)))));
+    for (int side = 0; side < 2; ++side) {
+      auto snap = [&](Weight s) {
+        return side == 0 ? snap_right(prefix, anchor, s)
+                         : snap_left(prefix, anchor, s);
+      };
+      for (int i = 0; i <= 10; ++i)
+        push_unique(out, snap(static_cast<Weight>(i) / 2.0 * d));
+      for (int i = 0; i <= log_delta; ++i)
+        push_unique(out, snap(std::ldexp(d, i)));  // 2^i * d
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+/// Multi-source Dijkstra from the vertices of one path in the residual graph
+/// (mask = vertices removed by earlier stages), tracking the nearest source
+/// index ("anchor").
+PathProjection project_path(const graph::Graph& g,
+                            const hierarchy::NodePath& path,
+                            const std::vector<bool>& removed) {
+  const std::size_t n = g.num_vertices();
+  PathProjection out;
+  out.dist.assign(n, graph::kInfiniteWeight);
+  out.anchor.assign(n, 0);
+  struct Entry {
+    Weight d;
+    Vertex v;
+    bool operator>(const Entry& o) const { return d > o.d; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  for (std::uint32_t i = 0; i < path.verts.size(); ++i) {
+    const Vertex s = path.verts[i];
+    assert(!removed[s]);
+    out.dist[s] = 0;
+    out.anchor[s] = i;
+    queue.push({0, s});
+  }
+  while (!queue.empty()) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d > out.dist[v]) continue;
+    for (const graph::Arc& a : g.neighbors(v)) {
+      if (removed[a.to]) continue;
+      const Weight nd = d + a.weight;
+      if (nd < out.dist[a.to]) {
+        out.dist[a.to] = nd;
+        out.anchor[a.to] = out.anchor[v];
+        queue.push({nd, a.to});
+      }
+    }
+  }
+  return out;
+}
+
+/// Mask of vertices removed by stages strictly before `stage`.
+std::vector<bool> stage_mask(const hierarchy::DecompositionNode& node,
+                             std::size_t stage) {
+  std::vector<bool> removed(node.graph.num_vertices(), false);
+  for (const auto& path : node.paths)
+    if (path.stage < stage)
+      for (Vertex v : path.verts) removed[v] = true;
+  return removed;
+}
+
+}  // namespace
+
+std::vector<PathProjection> compute_projections(
+    const hierarchy::DecompositionNode& node) {
+  std::vector<PathProjection> out;
+  out.reserve(node.paths.size());
+  for (const auto& path : node.paths)
+    out.push_back(project_path(node.graph, path, stage_mask(node, path.stage)));
+  return out;
+}
+
+NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
+                                    double epsilon) {
+  const std::size_t n = node.graph.num_vertices();
+  NodeConnections out;
+  out.connections.resize(node.paths.size());
+
+  for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
+    const hierarchy::NodePath& path = node.paths[pi];
+    const std::vector<bool> removed = stage_mask(node, path.stage);
+    const PathProjection proj = project_path(node.graph, path, removed);
+
+    auto& lists = out.connections[pi];
+    lists.assign(n, {});
+
+    // Ladder selection per vertex; group requests per distinct portal index.
+    std::unordered_map<std::uint32_t, std::vector<Vertex>> requests;
+    for (Vertex v = 0; v < n; ++v) {
+      if (proj.dist[v] == graph::kInfiniteWeight) continue;
+      const std::vector<std::uint32_t> ladder =
+          epsilon_ladder(path.prefix, proj.anchor[v], proj.dist[v], epsilon);
+      for (std::uint32_t idx : ladder) requests[idx].push_back(v);
+    }
+
+    // One masked Dijkstra per distinct portal vertex serves all requesters.
+    for (const auto& [idx, verts] : requests) {
+      const Vertex portal = path.verts[idx];
+      const Vertex sources[] = {portal};
+      const sssp::ShortestPaths sp =
+          sssp::dijkstra_masked(node.graph, sources, removed);
+      for (Vertex v : verts) {
+        assert(sp.reached(v));
+        // sp.parent[v] is v's predecessor on the portal->v path, i.e. v's
+        // first hop when walking toward the portal.
+        lists[v].push_back(Connection{idx, sp.parent[v], sp.dist[v],
+                                      path.prefix[idx]});
+      }
+    }
+    for (Vertex v = 0; v < n; ++v)
+      std::sort(lists[v].begin(), lists[v].end(),
+                [](const Connection& a, const Connection& b) {
+                  return a.prefix < b.prefix;
+                });
+  }
+  return out;
+}
+
+}  // namespace pathsep::oracle

@@ -1,0 +1,135 @@
+#include "oracle/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pathsep::oracle {
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t read_varint(std::span<const std::uint8_t> bytes,
+                          std::size_t& offset) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    if (offset >= bytes.size())
+      throw std::runtime_error("varint truncated");
+    const std::uint8_t byte = bytes[offset++];
+    if (shift >= 64) throw std::runtime_error("varint overflow");
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) return value;
+    shift += 7;
+  }
+}
+
+namespace {
+
+std::size_t varint_size(std::uint64_t value) {
+  std::size_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+void append_double(std::vector<std::uint8_t>& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+double read_double(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  if (offset + 8 > bytes.size())
+    throw std::runtime_error("double truncated");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(bytes[offset + static_cast<std::size_t>(i)])
+            << (8 * i);
+  offset += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_label(const DistanceLabel& label) {
+  std::vector<std::uint8_t> out;
+  append_varint(out, label.vertex);
+  append_varint(out, label.parts.size());
+  std::int32_t prev_node = 0;
+  for (const LabelPart& part : label.parts) {
+    // Parts are sorted by (node, path): node ids delta-encode compactly.
+    append_varint(out, static_cast<std::uint64_t>(part.node - prev_node));
+    prev_node = part.node;
+    append_varint(out, static_cast<std::uint64_t>(part.path));
+    append_varint(out, part.connections.size());
+    for (const Connection& conn : part.connections) {
+      append_varint(out, conn.path_index);
+      append_varint(out, conn.next_hop == graph::kInvalidVertex
+                             ? 0
+                             : static_cast<std::uint64_t>(conn.next_hop) + 1);
+      append_double(out, conn.dist);
+      append_double(out, conn.prefix);
+    }
+  }
+  return out;
+}
+
+DistanceLabel deserialize_label(std::span<const std::uint8_t> bytes) {
+  DistanceLabel label;
+  std::size_t offset = 0;
+  label.vertex = static_cast<Vertex>(read_varint(bytes, offset));
+  const std::uint64_t num_parts = read_varint(bytes, offset);
+  std::int32_t prev_node = 0;
+  for (std::uint64_t p = 0; p < num_parts; ++p) {
+    LabelPart part;
+    prev_node += static_cast<std::int32_t>(read_varint(bytes, offset));
+    part.node = prev_node;
+    part.path = static_cast<std::int32_t>(read_varint(bytes, offset));
+    const std::uint64_t num_conns = read_varint(bytes, offset);
+    for (std::uint64_t c = 0; c < num_conns; ++c) {
+      Connection conn;
+      conn.path_index = static_cast<std::uint32_t>(read_varint(bytes, offset));
+      const std::uint64_t hop = read_varint(bytes, offset);
+      conn.next_hop = hop == 0 ? graph::kInvalidVertex
+                               : static_cast<Vertex>(hop - 1);
+      conn.dist = read_double(bytes, offset);
+      conn.prefix = read_double(bytes, offset);
+      part.connections.push_back(conn);
+    }
+    label.parts.push_back(std::move(part));
+  }
+  if (offset != bytes.size())
+    throw std::runtime_error("trailing bytes after label");
+  return label;
+}
+
+std::size_t serialized_bits(const DistanceLabel& label) {
+  std::size_t bytes = varint_size(label.vertex) + varint_size(label.parts.size());
+  std::int32_t prev_node = 0;
+  for (const LabelPart& part : label.parts) {
+    bytes += varint_size(static_cast<std::uint64_t>(part.node - prev_node));
+    prev_node = part.node;
+    bytes += varint_size(static_cast<std::uint64_t>(part.path));
+    bytes += varint_size(part.connections.size());
+    for (const Connection& conn : part.connections) {
+      bytes += varint_size(conn.path_index);
+      bytes += varint_size(conn.next_hop == graph::kInvalidVertex
+                               ? 0
+                               : static_cast<std::uint64_t>(conn.next_hop) + 1);
+      bytes += 16;  // dist + prefix doubles
+    }
+  }
+  return bytes * 8;
+}
+
+}  // namespace pathsep::oracle

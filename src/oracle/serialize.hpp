@@ -1,0 +1,30 @@
+// Binary wire format for distance labels.
+//
+// Theorem 2 distributes the oracle as per-vertex labels; this module makes
+// that literal: a label serializes to a compact byte string (varint ids,
+// delta-coded part keys, IEEE doubles for distances) that a node could ship
+// in a handshake, and deserializes back to an equivalent DistanceLabel.
+// The serialized size is the honest "label size in bits" reported by E3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/labels.hpp"
+
+namespace pathsep::oracle {
+
+std::vector<std::uint8_t> serialize_label(const DistanceLabel& label);
+
+/// Throws std::runtime_error on malformed input.
+DistanceLabel deserialize_label(std::span<const std::uint8_t> bytes);
+
+/// serialize_label(label).size() * 8 without materializing the buffer.
+std::size_t serialized_bits(const DistanceLabel& label);
+
+// Exposed for tests.
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+std::uint64_t read_varint(std::span<const std::uint8_t> bytes,
+                          std::size_t& offset);
+
+}  // namespace pathsep::oracle

@@ -1,0 +1,134 @@
+#include "oracle/thorup_zwick.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace pathsep::oracle {
+
+namespace {
+
+struct Entry {
+  graph::Weight d;
+  graph::Vertex v;
+  bool operator>(const Entry& o) const { return d > o.d; }
+};
+using MinQueue = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+
+}  // namespace
+
+ThorupZwickOracle::ThorupZwickOracle(const graph::Graph& g, std::size_t k,
+                                     util::Rng& rng)
+    : k_(k), n_(g.num_vertices()) {
+  if (k_ == 0) throw std::invalid_argument("k must be >= 1");
+  const double p = std::pow(static_cast<double>(std::max<std::size_t>(n_, 2)),
+                            -1.0 / static_cast<double>(k_));
+
+  // Sampled hierarchy A_0 ⊇ … ⊇ A_{k-1}; A_k = ∅ implicitly.
+  std::vector<std::vector<bool>> in_level(k_, std::vector<bool>(n_, false));
+  for (graph::Vertex v = 0; v < n_; ++v) in_level[0][v] = true;
+  for (std::size_t i = 1; i < k_; ++i)
+    for (graph::Vertex v = 0; v < n_; ++v)
+      in_level[i][v] = in_level[i - 1][v] && rng.next_bool(p);
+  // The top level must be non-empty or the query walk cannot terminate.
+  if (k_ > 1) {
+    bool any = false;
+    for (graph::Vertex v = 0; v < n_; ++v) any = any || in_level[k_ - 1][v];
+    if (!any && n_ > 0)
+      in_level[k_ - 1][static_cast<graph::Vertex>(rng.next_below(n_))] = true;
+    // Restore nesting: a vertex in A_{k-1} must be in all lower levels.
+    for (graph::Vertex v = 0; v < n_; ++v)
+      if (in_level[k_ - 1][v])
+        for (std::size_t i = 1; i < k_; ++i) in_level[i][v] = true;
+  }
+
+  // Witnesses: multi-source Dijkstra from each level.
+  witness_.assign(k_ + 1, std::vector<graph::Vertex>(n_, graph::kInvalidVertex));
+  witness_dist_.assign(k_ + 1,
+                       std::vector<graph::Weight>(n_, graph::kInfiniteWeight));
+  for (std::size_t i = 0; i < k_; ++i) {
+    MinQueue queue;
+    for (graph::Vertex v = 0; v < n_; ++v)
+      if (in_level[i][v]) {
+        witness_dist_[i][v] = 0;
+        witness_[i][v] = v;
+        queue.push({0, v});
+      }
+    while (!queue.empty()) {
+      const auto [d, v] = queue.top();
+      queue.pop();
+      if (d > witness_dist_[i][v]) continue;
+      for (const graph::Arc& a : g.neighbors(v)) {
+        const graph::Weight nd = d + a.weight;
+        if (nd < witness_dist_[i][a.to]) {
+          witness_dist_[i][a.to] = nd;
+          witness_[i][a.to] = witness_[i][v];
+          queue.push({nd, a.to});
+        }
+      }
+    }
+  }
+  // Level k: empty set, all distances infinite (already initialized).
+
+  // Bunches: truncated Dijkstra from each w ∈ A_i \ A_{i+1}, relaxing only
+  // vertices strictly closer to w than to A_{i+1}.
+  bunch_.assign(n_, {});
+  std::vector<graph::Weight> dist(n_, graph::kInfiniteWeight);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const auto& next_dist = witness_dist_[i + 1];
+    for (graph::Vertex w = 0; w < n_; ++w) {
+      if (!in_level[i][w]) continue;
+      if (i + 1 < k_ && in_level[i + 1][w]) continue;  // counted at level i+1
+      MinQueue queue;
+      std::vector<graph::Vertex> touched;
+      if (!(0.0 < next_dist[w])) continue;  // w no closer than A_{i+1}
+      dist[w] = 0;
+      touched.push_back(w);
+      queue.push({0, w});
+      while (!queue.empty()) {
+        const auto [d, v] = queue.top();
+        queue.pop();
+        if (d > dist[v]) continue;
+        bunch_[v][w] = d;
+        for (const graph::Arc& a : g.neighbors(v)) {
+          const graph::Weight nd = d + a.weight;
+          if (nd < dist[a.to] && nd < next_dist[a.to]) {
+            if (dist[a.to] == graph::kInfiniteWeight) touched.push_back(a.to);
+            dist[a.to] = nd;
+            queue.push({nd, a.to});
+          }
+        }
+      }
+      for (graph::Vertex v : touched) dist[v] = graph::kInfiniteWeight;
+    }
+  }
+}
+
+graph::Weight ThorupZwickOracle::query(graph::Vertex u, graph::Vertex v) const {
+  if (u == v) return 0;
+  graph::Vertex w = u;
+  std::size_t i = 0;
+  for (;;) {
+    auto it = bunch_[v].find(w);
+    if (it != bunch_[v].end())
+      return witness_dist_[i][u] + it->second;
+    ++i;
+    if (i >= k_) return graph::kInfiniteWeight;  // disconnected endpoints
+    std::swap(u, v);
+    w = witness_[i][u];
+    if (w == graph::kInvalidVertex) return graph::kInfiniteWeight;
+  }
+}
+
+std::size_t ThorupZwickOracle::size_in_words() const {
+  // k witness pairs per vertex + 2 words per bunch entry.
+  return 2 * k_ * n_ + 2 * total_bunch_size();
+}
+
+std::size_t ThorupZwickOracle::total_bunch_size() const {
+  std::size_t total = 0;
+  for (const auto& b : bunch_) total += b.size();
+  return total;
+}
+
+}  // namespace pathsep::oracle

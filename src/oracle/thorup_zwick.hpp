@@ -1,0 +1,44 @@
+// Thorup–Zwick approximate distance oracle [45] — the classical stretch
+// 2k-1 comparator baseline (E11). Preprocessing samples a hierarchy of
+// vertex sets A_0 ⊇ A_1 ⊇ … ⊇ A_{k-1} (each kept with probability
+// n^{-1/k}); every vertex stores its level witnesses p_i(v) and its bunch
+// B(v) = ∪_i { w ∈ A_i \ A_{i+1} : d(w,v) < d(A_{i+1}, v) }.
+// Query walks the witnesses alternating between the endpoints and answers
+// d(u, w) + d(w, v) with stretch at most 2k-1. Expected space O(k·n^{1+1/k}).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::oracle {
+
+class ThorupZwickOracle {
+ public:
+  /// `k` >= 1 controls the stretch (2k-1) / space (n^{1+1/k}) trade-off.
+  ThorupZwickOracle(const graph::Graph& g, std::size_t k, util::Rng& rng);
+
+  /// Upper estimate of d(u,v), stretch <= 2k-1. Never underestimates.
+  graph::Weight query(graph::Vertex u, graph::Vertex v) const;
+
+  std::size_t stretch_bound() const { return 2 * k_ - 1; }
+
+  /// Words: per vertex, k witness pairs (id+dist) plus bunch entries
+  /// (id+dist each).
+  std::size_t size_in_words() const;
+
+  std::size_t total_bunch_size() const;
+
+ private:
+  std::size_t k_;
+  std::size_t n_;
+  /// witness_[i][v] = p_i(v); witness_dist_[i][v] = d(A_i, v).
+  std::vector<std::vector<graph::Vertex>> witness_;
+  std::vector<std::vector<graph::Weight>> witness_dist_;
+  /// bunch_[v]: w -> d(w, v).
+  std::vector<std::unordered_map<graph::Vertex, graph::Weight>> bunch_;
+};
+
+}  // namespace pathsep::oracle

@@ -1,0 +1,47 @@
+#include "routing/simulator.hpp"
+
+#include <cmath>
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::routing {
+
+RoutingStats evaluate_routing(const RoutingScheme& scheme,
+                              const graph::Graph& g, std::size_t num_pairs,
+                              util::Rng& rng) {
+  RoutingStats stats;
+  const std::size_t n = g.num_vertices();
+  if (n < 2) return stats;
+  for (std::size_t i = 0; i < num_pairs; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.next_below(n));
+    Vertex v = static_cast<Vertex>(rng.next_below(n));
+    while (v == u) v = static_cast<Vertex>(rng.next_below(n));
+    ++stats.pairs;
+    const RouteResult result = scheme.route(u, v);
+    if (!result.delivered) {
+      ++stats.failures;
+      continue;
+    }
+    const Weight truth = sssp::distance(g, u, v);
+    stats.cost.add(result.cost);
+    stats.hops.add(static_cast<double>(result.hops));
+    if (truth > 0 && truth != graph::kInfiniteWeight)
+      stats.stretch.add(result.cost / truth);
+  }
+  return stats;
+}
+
+bool route_is_consistent(const graph::Graph& g, const RouteResult& result) {
+  if (!result.delivered) return false;
+  if (result.route.empty()) return false;
+  Weight total = 0;
+  for (std::size_t i = 0; i + 1 < result.route.size(); ++i) {
+    const Weight w = g.edge_weight(result.route[i], result.route[i + 1]);
+    if (w == graph::kInfiniteWeight) return false;
+    total += w;
+  }
+  return std::abs(total - result.cost) <=
+         1e-9 * std::max<Weight>(1.0, result.cost) + 1e-12;
+}
+
+}  // namespace pathsep::routing

@@ -1,0 +1,29 @@
+// Monte-Carlo evaluation of a routing scheme: sampled source/target pairs,
+// measured stretch (routed cost over true distance) and hop counts.
+#pragma once
+
+#include "routing/tables.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pathsep::routing {
+
+struct RoutingStats {
+  util::OnlineStats stretch;
+  util::OnlineStats hops;
+  util::OnlineStats cost;
+  std::size_t pairs = 0;
+  std::size_t failures = 0;  ///< undelivered packets (should be 0, connected)
+};
+
+/// Samples `num_pairs` distinct ordered pairs and routes each; true
+/// distances come from a Dijkstra per pair.
+RoutingStats evaluate_routing(const RoutingScheme& scheme,
+                              const graph::Graph& g, std::size_t num_pairs,
+                              util::Rng& rng);
+
+/// Checks that every route is a genuine walk in g whose edge-weight total
+/// equals the reported cost (within floating-point slack). Used by tests.
+bool route_is_consistent(const graph::Graph& g, const RouteResult& result);
+
+}  // namespace pathsep::routing

@@ -1,0 +1,55 @@
+// Stretch-(1+ε) labeled compact routing on top of the decomposition tree.
+//
+// Model (a faithful simulation of Thorup's labeled scheme [44] generalized
+// by the paper): the routing label of a vertex is its distance label; each
+// vertex additionally stores, per connection, the first hop of its shortest
+// path toward the portal in the stage's residual graph, and each separator-
+// path vertex knows its two along-path neighbors. A packet's header carries
+// the destination label. The source picks the portal pair (p, q) minimizing
+// d_J(u,p) + d_Q(p,q) + d_J(q,v) over all common (node, path) parts — the
+// same minimum the oracle computes, hence the delivered route costs exactly
+// the oracle estimate and the stretch is at most 1+ε.
+//
+// The simulator materializes the three route legs (u→p in J, p→q along Q,
+// q→v in J) with on-demand Dijkstras that reproduce the per-hop tables a
+// deployment would store along the shortest-path trees; the *scheme size* we
+// account (table_words) is the per-vertex label + next-hop storage, the
+// paper's poly-logarithmic quantity.
+#pragma once
+
+#include "oracle/path_oracle.hpp"
+
+namespace pathsep::routing {
+
+using graph::Vertex;
+using graph::Weight;
+
+struct RouteResult {
+  bool delivered = false;
+  std::size_t hops = 0;
+  Weight cost = graph::kInfiniteWeight;
+  std::vector<Vertex> route;  ///< root-graph ids, source first
+};
+
+class RoutingScheme {
+ public:
+  RoutingScheme(const hierarchy::DecompositionTree& tree, double epsilon);
+
+  /// Routes between root-graph vertices.
+  RouteResult route(Vertex source, Vertex target) const;
+
+  /// Distributed scheme size in words: every vertex's label (connections
+  /// carry their next hop) plus 2 words per separator-path vertex for the
+  /// along-path links.
+  std::size_t table_words() const;
+  std::size_t max_table_words() const;
+
+  double epsilon() const { return oracle_.epsilon(); }
+  const oracle::PathOracle& oracle() const { return oracle_; }
+
+ private:
+  const hierarchy::DecompositionTree* tree_;
+  oracle::PathOracle oracle_;
+};
+
+}  // namespace pathsep::routing

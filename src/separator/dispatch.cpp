@@ -1,0 +1,26 @@
+#include "separator/finders.hpp"
+#include "treedec/tree_decomposition.hpp"
+
+namespace pathsep::separator {
+
+AutoSeparator::AutoSeparator(
+    std::optional<std::vector<graph::Point>> root_positions,
+    std::size_t treewidth_threshold)
+    : treewidth_threshold_(treewidth_threshold) {
+  if (root_positions) planar_.emplace(std::move(*root_positions));
+}
+
+PathSeparator AutoSeparator::find(const Graph& g,
+                                  std::span<const Vertex> root_ids) const {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  if (g.num_edges() == n - 1) return tree_.find(g, root_ids);
+  if (planar_) return planar_->find(g, root_ids);
+  // No drawing available: accept the center bag when the heuristic width is
+  // small, otherwise fall back to greedy paths.
+  const treedec::TreeDecomposition td = treedec::heuristic_decomposition(g);
+  if (td.width() + 1 <= treewidth_threshold_) return bag_.find(g, root_ids);
+  return greedy_.find(g, root_ids);
+}
+
+}  // namespace pathsep::separator

@@ -1,0 +1,130 @@
+// Concrete k-path separator constructions, one per graph class the paper
+// names. All of them implement SeparatorFinder and are consumed uniformly by
+// the decomposition hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "separator/path_separator.hpp"
+
+namespace pathsep::separator {
+
+/// Trees (K3-minor-free) are 1-path separable: the centroid vertex is a
+/// trivial minimum-cost path whose removal halves the tree.
+class TreeCentroidSeparator final : public SeparatorFinder {
+ public:
+  using SeparatorFinder::find;
+  PathSeparator find(const Graph& g,
+                     std::span<const Vertex> root_ids) const override;
+  std::string name() const override { return "tree-centroid"; }
+};
+
+/// Unweighted rectangular meshes are 1-path separable: the middle row (or
+/// column, whichever dimension is longer) is a shortest path. Requires that
+/// every graph it sees is an induced full sub-rectangle of the root grid
+/// with unit weights — which holds along the recursion, since cutting full
+/// grid lines leaves full rectangles.
+class GridLineSeparator final : public SeparatorFinder {
+ public:
+  GridLineSeparator(std::size_t rows, std::size_t cols);
+  using SeparatorFinder::find;
+  PathSeparator find(const Graph& g,
+                     std::span<const Vertex> root_ids) const override;
+  std::string name() const override { return "grid-line"; }
+
+ private:
+  std::size_t rows_, cols_;
+};
+
+/// Bounded-treewidth graphs are strongly (w+1)-path separable (Theorem 7):
+/// the Lemma 1 center bag of a width-w tree decomposition, each bag vertex a
+/// trivial path. Uses the min-degree heuristic decomposition (exact on
+/// k-trees), so the achieved path count is (heuristic width + 1).
+class TreewidthBagSeparator final : public SeparatorFinder {
+ public:
+  using SeparatorFinder::find;
+  PathSeparator find(const Graph& g,
+                     std::span<const Vertex> root_ids) const override;
+  std::string name() const override { return "treewidth-bag"; }
+};
+
+/// Planar graphs are strongly 3-path separable (Thorup [44], Theorem 6.1):
+/// root paths of a shortest-path tree to the corners of the centroid face of
+/// the dual tree of a triangulation. Needs a planar straight-line drawing of
+/// the *root* graph; every recursive subgraph inherits it through root_ids.
+class PlanarCycleSeparator final : public SeparatorFinder {
+ public:
+  explicit PlanarCycleSeparator(std::vector<graph::Point> root_positions);
+  using SeparatorFinder::find;
+  PathSeparator find(const Graph& g,
+                     std::span<const Vertex> root_ids) const override;
+  std::string name() const override { return "planar-cycle"; }
+
+ private:
+  std::vector<graph::Point> positions_;
+};
+
+/// Guarantee-free fallback for arbitrary graphs: repeatedly remove the
+/// shortest path between an (approximately) farthest pair inside the largest
+/// remaining component. Each stage holds one path, so the construction
+/// trivially satisfies P1; the achieved k is whatever the graph demands —
+/// Theorem 5 predicts k = Ω(√n / log² n) on sparse expanders and the
+/// lower-bound benches measure exactly that growth.
+class GreedyPathSeparator final : public SeparatorFinder {
+ public:
+  explicit GreedyPathSeparator(std::uint64_t seed = 17,
+                               std::size_t max_paths = 0);
+  using SeparatorFinder::find;
+  PathSeparator find(const Graph& g,
+                     std::span<const Vertex> root_ids) const override;
+  std::string name() const override { return "greedy-paths"; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t max_paths_;  ///< 0 = no cap
+};
+
+/// STRONG variant of the greedy fallback (§5.2): a single stage only — every
+/// path must be a shortest path of the ORIGINAL graph, never of a residual.
+/// Used to measure how much the stage sequencing of Definition 1 buys:
+/// Theorem 6.3 predicts Ω(√n) strong paths on the mesh+apex graphs where the
+/// staged separator needs 2.
+class StrongGreedySeparator final : public SeparatorFinder {
+ public:
+  explicit StrongGreedySeparator(std::uint64_t seed = 29,
+                                 std::size_t max_paths = 0);
+  using SeparatorFinder::find;
+  PathSeparator find(const Graph& g,
+                     std::span<const Vertex> root_ids) const override;
+  std::string name() const override { return "strong-greedy"; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t max_paths_;
+};
+
+/// Dispatches per graph: trees to the centroid, planar inputs (when a
+/// drawing is supplied) to the cycle separator, small-heuristic-width graphs
+/// to the center bag, everything else to the greedy fallback.
+class AutoSeparator final : public SeparatorFinder {
+ public:
+  explicit AutoSeparator(
+      std::optional<std::vector<graph::Point>> root_positions = std::nullopt,
+      std::size_t treewidth_threshold = 8);
+  using SeparatorFinder::find;
+  PathSeparator find(const Graph& g,
+                     std::span<const Vertex> root_ids) const override;
+  std::string name() const override { return "auto"; }
+
+ private:
+  std::optional<PlanarCycleSeparator> planar_;
+  TreeCentroidSeparator tree_;
+  TreewidthBagSeparator bag_;
+  GreedyPathSeparator greedy_;
+  std::size_t treewidth_threshold_;
+};
+
+}  // namespace pathsep::separator

@@ -1,0 +1,59 @@
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "separator/finders.hpp"
+
+namespace pathsep::separator {
+
+GridLineSeparator::GridLineSeparator(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("grid dimensions must be positive");
+}
+
+PathSeparator GridLineSeparator::find(const Graph& g,
+                                      std::span<const Vertex> root_ids) const {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  if (root_ids.size() != n)
+    throw std::invalid_argument("root_ids size mismatch");
+
+  // Bounding box of the vertices in root-grid coordinates. The recursion
+  // only ever produces full sub-rectangles, which we verify by area.
+  std::size_t r_lo = std::numeric_limits<std::size_t>::max(), r_hi = 0;
+  std::size_t c_lo = std::numeric_limits<std::size_t>::max(), c_hi = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::size_t id = root_ids[v];
+    const std::size_t r = id / cols_, c = id % cols_;
+    if (r >= rows_) throw std::invalid_argument("vertex outside root grid");
+    r_lo = std::min(r_lo, r);
+    r_hi = std::max(r_hi, r);
+    c_lo = std::min(c_lo, c);
+    c_hi = std::max(c_hi, c);
+  }
+  const std::size_t height = r_hi - r_lo + 1, width = c_hi - c_lo + 1;
+  if (height * width != n)
+    throw std::invalid_argument(
+        "GridLineSeparator: subgraph is not a full sub-rectangle");
+
+  // Local id of root cell (r, c): vertices are sorted by root id inside
+  // induced subgraphs, i.e. row-major over the sub-rectangle.
+  auto local = [&](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>((r - r_lo) * width + (c - c_lo));
+  };
+
+  PathSeparator s;
+  PathSeparator::Path line;
+  if (height >= width) {
+    const std::size_t r = r_lo + height / 2;
+    for (std::size_t c = c_lo; c <= c_hi; ++c) line.push_back(local(r, c));
+  } else {
+    const std::size_t c = c_lo + width / 2;
+    for (std::size_t r = r_lo; r <= r_hi; ++r) line.push_back(local(r, c));
+  }
+  s.stages.push_back({std::move(line)});
+  return s;
+}
+
+}  // namespace pathsep::separator

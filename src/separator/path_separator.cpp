@@ -1,0 +1,45 @@
+#include "separator/path_separator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pathsep::separator {
+
+std::size_t PathSeparator::path_count() const {
+  std::size_t k = 0;
+  for (const Stage& stage : stages) k += stage.size();
+  return k;
+}
+
+std::vector<Vertex> PathSeparator::vertices() const {
+  std::vector<Vertex> out;
+  for (const Stage& stage : stages)
+    for (const Path& path : stage)
+      out.insert(out.end(), path.begin(), path.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<bool> PathSeparator::removal_mask(std::size_t n) const {
+  std::vector<bool> mask(n, false);
+  for (const Stage& stage : stages)
+    for (const Path& path : stage)
+      for (Vertex v : path) mask[v] = true;
+  return mask;
+}
+
+bool PathSeparator::empty() const {
+  for (const Stage& stage : stages)
+    for (const Path& path : stage)
+      if (!path.empty()) return false;
+  return true;
+}
+
+PathSeparator SeparatorFinder::find(const Graph& g) const {
+  std::vector<Vertex> ids(g.num_vertices());
+  std::iota(ids.begin(), ids.end(), Vertex{0});
+  return find(g, ids);
+}
+
+}  // namespace pathsep::separator

@@ -1,0 +1,64 @@
+// k-path separators (Definition 1 of the paper) and the finder interface.
+//
+// A PathSeparator is the object S = P_0 ∪ P_1 ∪ ⋯ of Definition 1: stage i
+// holds k_i vertex paths, each of which must be a minimum-cost path in the
+// graph minus all earlier stages (property P1); Σ k_i is the separator's k
+// (P2); and removing all stages leaves connected components of at most n/2
+// vertices (P3). separator/validate.hpp checks all three properties.
+//
+// SeparatorFinder is the interface consumed by the decomposition hierarchy
+// (hierarchy/decomposition_tree.hpp) and, through it, by every object
+// location application: oracle, labels, routing and small-world.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::separator {
+
+using graph::Graph;
+using graph::Vertex;
+
+struct PathSeparator {
+  using Path = std::vector<Vertex>;   ///< consecutive vertices, adjacent in G
+  using Stage = std::vector<Path>;    ///< the union P_i of k_i paths
+
+  std::vector<Stage> stages;
+
+  /// Σ k_i — the "k" of k-path separability.
+  std::size_t path_count() const;
+
+  /// All separator vertices, sorted and deduplicated.
+  std::vector<Vertex> vertices() const;
+
+  /// Boolean mask of length n with separator vertices set.
+  std::vector<bool> removal_mask(std::size_t n) const;
+
+  /// A *strong* separator reduces to a single stage (§5.2).
+  bool strong() const { return stages.size() <= 1; }
+
+  bool empty() const;
+};
+
+/// Strategy interface. `g` is the (connected) graph to halve; `root_ids[v]`
+/// maps each local vertex to its id in the root graph of the decomposition,
+/// letting geometry-aware finders (planar, grid) look up positions that were
+/// captured once for the whole graph.
+class SeparatorFinder {
+ public:
+  virtual ~SeparatorFinder() = default;
+
+  virtual PathSeparator find(const Graph& g,
+                             std::span<const Vertex> root_ids) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Convenience overload for the root graph itself (identity id map).
+  PathSeparator find(const Graph& g) const;
+};
+
+}  // namespace pathsep::separator

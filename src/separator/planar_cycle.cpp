@@ -1,0 +1,50 @@
+#include <stdexcept>
+
+#include "embed/dual.hpp"
+#include "embed/embedding.hpp"
+#include "separator/finders.hpp"
+#include "sssp/sp_tree.hpp"
+
+namespace pathsep::separator {
+
+PlanarCycleSeparator::PlanarCycleSeparator(
+    std::vector<graph::Point> root_positions)
+    : positions_(std::move(root_positions)) {}
+
+PathSeparator PlanarCycleSeparator::find(
+    const Graph& g, std::span<const Vertex> root_ids) const {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  if (root_ids.size() != n)
+    throw std::invalid_argument("root_ids size mismatch");
+
+  PathSeparator s;
+  if (n == 1) {
+    s.stages.push_back({{0}});
+    return s;
+  }
+
+  // Drawing of the subgraph: positions inherited from the root graph (an
+  // induced subgraph of a planar straight-line drawing stays planar).
+  std::vector<graph::Point> pos(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (root_ids[v] >= positions_.size())
+      throw std::invalid_argument("root id outside captured drawing");
+    pos[v] = positions_[root_ids[v]];
+  }
+
+  embed::PlanarEmbedding embedding(g, pos);
+  embedding.triangulate();
+
+  const sssp::SpTree tree(g, /*root=*/0);
+  std::vector<double> ones(n, 1.0);
+  const std::vector<Vertex> corners =
+      embed::balanced_cycle_corners(embedding, tree, ones);
+
+  PathSeparator::Stage stage;
+  for (Vertex corner : corners) stage.push_back(tree.root_path(corner));
+  s.stages.push_back(std::move(stage));
+  return s;
+}
+
+}  // namespace pathsep::separator

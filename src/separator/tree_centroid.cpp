@@ -1,0 +1,53 @@
+#include <stdexcept>
+
+#include "separator/finders.hpp"
+
+namespace pathsep::separator {
+
+PathSeparator TreeCentroidSeparator::find(const Graph& g,
+                                          std::span<const Vertex>) const {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  if (g.num_edges() != n - 1)
+    throw std::invalid_argument("TreeCentroidSeparator: graph is not a tree");
+
+  // Iterative subtree-size computation rooted at 0, then centroid scan.
+  std::vector<Vertex> par(n, graph::kInvalidVertex), order;
+  std::vector<bool> seen(n, false);
+  order.reserve(n);
+  order.push_back(0);
+  seen[0] = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Vertex v = order[i];
+    for (const graph::Arc& a : g.neighbors(v)) {
+      if (seen[a.to]) continue;
+      seen[a.to] = true;
+      par[a.to] = v;
+      order.push_back(a.to);
+    }
+  }
+  if (order.size() != n)
+    throw std::invalid_argument("TreeCentroidSeparator: tree is disconnected");
+
+  std::vector<std::size_t> subtree(n, 1);
+  for (std::size_t i = order.size(); i-- > 1;)
+    subtree[par[order[i]]] += subtree[order[i]];
+
+  Vertex centroid = 0;
+  std::size_t best = n;
+  for (Vertex v = 0; v < n; ++v) {
+    std::size_t balance = n - subtree[v];
+    for (const graph::Arc& a : g.neighbors(v))
+      if (par[a.to] == v) balance = std::max(balance, subtree[a.to]);
+    if (balance < best) {
+      best = balance;
+      centroid = v;
+    }
+  }
+
+  PathSeparator s;
+  s.stages.push_back({{centroid}});
+  return s;
+}
+
+}  // namespace pathsep::separator

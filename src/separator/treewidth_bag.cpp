@@ -1,0 +1,22 @@
+#include "separator/finders.hpp"
+#include "treedec/center.hpp"
+#include "treedec/tree_decomposition.hpp"
+
+namespace pathsep::separator {
+
+PathSeparator TreewidthBagSeparator::find(const Graph& g,
+                                          std::span<const Vertex>) const {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  const treedec::TreeDecomposition td = treedec::heuristic_decomposition(g);
+  const int bag = treedec::center_bag(td, g);
+
+  PathSeparator s;
+  PathSeparator::Stage stage;
+  for (Vertex v : td.bags[static_cast<std::size_t>(bag)])
+    stage.push_back({v});  // a single vertex is a trivial minimum-cost path
+  s.stages.push_back(std::move(stage));
+  return s;
+}
+
+}  // namespace pathsep::separator

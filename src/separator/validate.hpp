@@ -1,0 +1,28 @@
+// Checks a PathSeparator against Definition 1 (properties P1–P3).
+#pragma once
+
+#include <string>
+
+#include "separator/path_separator.hpp"
+
+namespace pathsep::separator {
+
+struct ValidationReport {
+  bool ok = false;
+  std::string error;                   ///< empty when ok
+  std::size_t path_count = 0;          ///< Σ k_i (P2 is reported, not judged)
+  std::size_t separator_vertices = 0;  ///< |V(S)|
+  std::size_t largest_component = 0;   ///< after removing S
+  std::size_t component_count = 0;
+};
+
+/// Verifies against graph `g`:
+///   P1 — each stage-i path is non-empty, has distinct vertices, uses edges
+///        of g avoiding stages j<i, and its cost equals the shortest-path
+///        distance between its endpoints in g minus stages j<i;
+///   P3 — every connected component of g minus S has at most n/2 vertices.
+/// (P2 is a budget on k that depends on the graph class; the achieved
+/// path_count is reported for the caller to judge.)
+ValidationReport validate(const Graph& g, const PathSeparator& s);
+
+}  // namespace pathsep::separator

@@ -1,0 +1,152 @@
+#include "separator/weighted.hpp"
+
+#include <stdexcept>
+
+#include "embed/dual.hpp"
+#include "embed/embedding.hpp"
+#include "graph/connectivity.hpp"
+#include "separator/validate.hpp"
+#include "sssp/sp_tree.hpp"
+#include "treedec/center.hpp"
+#include "treedec/tree_decomposition.hpp"
+#include "util/table.hpp"
+
+namespace pathsep::separator {
+
+namespace {
+
+void check_weights(const Graph& g, std::span<const double> w) {
+  if (w.size() != g.num_vertices())
+    throw std::invalid_argument("vertex_weight size mismatch");
+  for (double x : w)
+    if (!(x >= 0)) throw std::invalid_argument("vertex weights must be >= 0");
+}
+
+}  // namespace
+
+PathSeparator WeightedTreeCentroid::find_weighted(
+    const Graph& g, std::span<const Vertex>,
+    std::span<const double> vertex_weight) const {
+  check_weights(g, vertex_weight);
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  if (g.num_edges() != n - 1)
+    throw std::invalid_argument("WeightedTreeCentroid: graph is not a tree");
+
+  std::vector<Vertex> par(n, graph::kInvalidVertex), order;
+  std::vector<bool> seen(n, false);
+  order.push_back(0);
+  seen[0] = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (const graph::Arc& a : g.neighbors(order[i])) {
+      if (seen[a.to]) continue;
+      seen[a.to] = true;
+      par[a.to] = order[i];
+      order.push_back(a.to);
+    }
+  }
+  if (order.size() != n)
+    throw std::invalid_argument("WeightedTreeCentroid: tree is disconnected");
+
+  std::vector<double> subtree(vertex_weight.begin(), vertex_weight.end());
+  for (std::size_t i = order.size(); i-- > 1;)
+    subtree[par[order[i]]] += subtree[order[i]];
+  const double total = subtree[0];
+
+  Vertex centroid = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (Vertex v = 0; v < n; ++v) {
+    double balance = total - subtree[v];
+    for (const graph::Arc& a : g.neighbors(v))
+      if (par[a.to] == v) balance = std::max(balance, subtree[a.to]);
+    if (balance < best) {
+      best = balance;
+      centroid = v;
+    }
+  }
+  PathSeparator s;
+  s.stages.push_back({{centroid}});
+  return s;
+}
+
+WeightedPlanarCycle::WeightedPlanarCycle(
+    std::vector<graph::Point> root_positions)
+    : positions_(std::move(root_positions)) {}
+
+PathSeparator WeightedPlanarCycle::find_weighted(
+    const Graph& g, std::span<const Vertex> root_ids,
+    std::span<const double> vertex_weight) const {
+  check_weights(g, vertex_weight);
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  if (root_ids.size() != n)
+    throw std::invalid_argument("root_ids size mismatch");
+  PathSeparator s;
+  if (n == 1) {
+    s.stages.push_back({{0}});
+    return s;
+  }
+  std::vector<graph::Point> pos(n);
+  for (Vertex v = 0; v < n; ++v) pos[v] = positions_[root_ids[v]];
+  embed::PlanarEmbedding embedding(g, pos);
+  embedding.triangulate();
+  const sssp::SpTree tree(g, 0);
+  const std::vector<Vertex> corners =
+      embed::balanced_cycle_corners(embedding, tree, vertex_weight);
+  PathSeparator::Stage stage;
+  for (Vertex corner : corners) stage.push_back(tree.root_path(corner));
+  s.stages.push_back(std::move(stage));
+  return s;
+}
+
+PathSeparator WeightedTreewidthBag::find_weighted(
+    const Graph& g, std::span<const Vertex>,
+    std::span<const double> vertex_weight) const {
+  check_weights(g, vertex_weight);
+  if (g.num_vertices() == 0) return {};
+  const treedec::TreeDecomposition td = treedec::heuristic_decomposition(g);
+  const int bag = treedec::center_bag(td, g, vertex_weight);
+  PathSeparator s;
+  PathSeparator::Stage stage;
+  for (Vertex v : td.bags[static_cast<std::size_t>(bag)]) stage.push_back({v});
+  s.stages.push_back(std::move(stage));
+  return s;
+}
+
+WeightedValidationReport validate_weighted(
+    const Graph& g, const PathSeparator& s,
+    std::span<const double> vertex_weight) {
+  WeightedValidationReport report;
+  check_weights(g, vertex_weight);
+  report.path_count = s.path_count();
+  for (double w : vertex_weight) report.total_weight += w;
+
+  // P1 re-uses the unweighted validator (it also checks P3 by vertex count,
+  // which we ignore here — weighted balance is the condition that matters).
+  const ValidationReport p1 = validate(g, s);
+  if (!p1.ok &&
+      p1.error.find("P3") == std::string::npos) {  // genuine P1 failure
+    report.error = p1.error;
+    return report;
+  }
+
+  const std::vector<bool> mask = s.removal_mask(g.num_vertices());
+  const graph::Components comps = graph::connected_components(g, mask);
+  std::vector<double> weight(comps.count(), 0.0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (comps.label[v] != graph::Components::kRemoved)
+      weight[comps.label[v]] += vertex_weight[v];
+  for (double w : weight)
+    report.largest_component_weight =
+        std::max(report.largest_component_weight, w);
+  if (report.largest_component_weight > report.total_weight / 2 + 1e-9) {
+    report.error = util::strf(
+        "weighted P3 violated: component weight %.6g exceeds half of %.6g",
+        report.largest_component_weight, report.total_weight);
+    return report;
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace pathsep::separator

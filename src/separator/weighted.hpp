@@ -1,0 +1,78 @@
+// Vertex-weighted k-path separators — the strengthening stated in the Note
+// after Theorem 1: the separator S still consists of minimum-cost paths
+// (property P1), but P3 is replaced by a weighted balance condition — every
+// component of G \ S has vertex-weight at most half the total vertex-weight.
+// (Lemmas 1 and 5 "can be easily adapted"; this module is that adaptation.)
+//
+// Weighted separators let the hierarchy halve by any importance measure —
+// load, population, object popularity — instead of vertex count.
+#pragma once
+
+#include "graph/generators.hpp"  // graph::Point
+#include "separator/path_separator.hpp"
+
+namespace pathsep::separator {
+
+/// Weighted variant of SeparatorFinder::find. `vertex_weight` must have one
+/// non-negative entry per vertex of g; the returned separator satisfies P1
+/// and the weighted P3 (components of weight <= total/2).
+class WeightedSeparatorFinder {
+ public:
+  virtual ~WeightedSeparatorFinder() = default;
+
+  virtual PathSeparator find_weighted(
+      const Graph& g, std::span<const Vertex> root_ids,
+      std::span<const double> vertex_weight) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Weighted tree centroid: trees are 1-path vertex-weighted separable.
+class WeightedTreeCentroid final : public WeightedSeparatorFinder {
+ public:
+  PathSeparator find_weighted(
+      const Graph& g, std::span<const Vertex> root_ids,
+      std::span<const double> vertex_weight) const override;
+  std::string name() const override { return "weighted-tree-centroid"; }
+};
+
+/// Weighted planar separator: the dual-tree centroid argument works with any
+/// non-negative face weights, so planar graphs are strongly 3-path
+/// vertex-weighted separable.
+class WeightedPlanarCycle final : public WeightedSeparatorFinder {
+ public:
+  explicit WeightedPlanarCycle(std::vector<graph::Point> root_positions);
+  PathSeparator find_weighted(
+      const Graph& g, std::span<const Vertex> root_ids,
+      std::span<const double> vertex_weight) const override;
+  std::string name() const override { return "weighted-planar-cycle"; }
+
+ private:
+  std::vector<graph::Point> positions_;
+};
+
+/// Weighted center bag (the adapted Lemma 1): bounded-treewidth graphs are
+/// strongly (w+1)-path vertex-weighted separable.
+class WeightedTreewidthBag final : public WeightedSeparatorFinder {
+ public:
+  PathSeparator find_weighted(
+      const Graph& g, std::span<const Vertex> root_ids,
+      std::span<const double> vertex_weight) const override;
+  std::string name() const override { return "weighted-treewidth-bag"; }
+};
+
+/// Weighted validation: P1 as in separator/validate.hpp plus the weighted
+/// P3. Returns ok == false with a message otherwise.
+struct WeightedValidationReport {
+  bool ok = false;
+  std::string error;
+  double total_weight = 0;
+  double largest_component_weight = 0;
+  std::size_t path_count = 0;
+};
+
+WeightedValidationReport validate_weighted(
+    const Graph& g, const PathSeparator& s,
+    std::span<const double> vertex_weight);
+
+}  // namespace pathsep::separator

@@ -1,0 +1,78 @@
+#include "smallworld/augmentation.hpp"
+
+#include <stdexcept>
+
+namespace pathsep::smallworld {
+
+PathSeparatorAugmentation::PathSeparatorAugmentation(
+    const hierarchy::DecompositionTree& tree, double aspect_ratio)
+    : tree_(&tree), aspect_ratio_(aspect_ratio) {
+  projections_.reserve(tree.nodes().size());
+  for (const auto& node : tree.nodes())
+    projections_.push_back(oracle::compute_projections(node));
+}
+
+std::vector<Vertex> PathSeparatorAugmentation::landmarks(
+    Vertex v, int node_id, std::size_t path_idx) const {
+  const hierarchy::DecompositionNode& node = tree_->node(node_id);
+  const oracle::PathProjection& proj =
+      projections_[static_cast<std::size_t>(node_id)][path_idx];
+  // Local id of v at this node.
+  Vertex local = graph::kInvalidVertex;
+  for (const auto& [nid, lid] : tree_->chain(v))
+    if (nid == node_id) {
+      local = lid;
+      break;
+    }
+  if (local == graph::kInvalidVertex)
+    throw std::invalid_argument("vertex not contained in node");
+  if (proj.dist[local] == graph::kInfiniteWeight) return {};
+  const hierarchy::NodePath& path = node.paths[path_idx];
+  const std::vector<std::uint32_t> ladder = oracle::claim1_ladder(
+      path.prefix, proj.anchor[local], proj.dist[local], aspect_ratio_);
+  std::vector<Vertex> out;
+  out.reserve(ladder.size());
+  for (std::uint32_t idx : ladder)
+    out.push_back(node.root_ids[path.verts[idx]]);
+  return out;
+}
+
+Vertex PathSeparatorAugmentation::sample_contact(Vertex v,
+                                                 util::Rng& rng) const {
+  const auto& chain = tree_->chain(v);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto& [node_id, local] = chain[rng.next_below(chain.size())];
+    const hierarchy::DecompositionNode& node = tree_->node(node_id);
+    if (node.paths.empty()) continue;
+    const std::size_t path_idx = rng.next_below(node.paths.size());
+    const oracle::PathProjection& proj =
+        projections_[static_cast<std::size_t>(node_id)][path_idx];
+    if (proj.dist[local] == graph::kInfiniteWeight) continue;
+    const hierarchy::NodePath& path = node.paths[path_idx];
+    const std::vector<std::uint32_t> ladder = oracle::claim1_ladder(
+        path.prefix, proj.anchor[local], proj.dist[local], aspect_ratio_);
+    const std::uint32_t idx = ladder[rng.next_below(ladder.size())];
+    return node.root_ids[path.verts[idx]];
+  }
+  // Fallback: v's projection on the first reachable path of its chain.
+  for (const auto& [node_id, local] : chain) {
+    const hierarchy::DecompositionNode& node = tree_->node(node_id);
+    for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
+      const oracle::PathProjection& proj =
+          projections_[static_cast<std::size_t>(node_id)][pi];
+      if (proj.dist[local] == graph::kInfiniteWeight) continue;
+      return node.root_ids[node.paths[pi].verts[proj.anchor[local]]];
+    }
+  }
+  return v;  // isolated corner case: self-contact, ignored by the router
+}
+
+std::vector<Vertex> PathSeparatorAugmentation::sample_all(
+    util::Rng& rng) const {
+  const std::size_t n = tree_->root_graph().num_vertices();
+  std::vector<Vertex> contacts(n);
+  for (Vertex v = 0; v < n; ++v) contacts[v] = sample_contact(v, rng);
+  return contacts;
+}
+
+}  // namespace pathsep::smallworld

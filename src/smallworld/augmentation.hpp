@@ -1,0 +1,55 @@
+// The augmentation distribution of §4 (Definitions 3 and 4, Claim 1).
+//
+// Each vertex v draws one long-range contact: a uniform level τ of its chain
+// H_1(v) ⊇ H_2(v) ⊇ …, a uniform separator path Q of S(H_τ(v)), and a
+// uniform landmark from the Claim 1 set L(Q) — landmarks sit on Q at prefix
+// distances (i/2)·d for i ≤ 10 and 2^i·d for i ≤ ⌈log Δ⌉ on both sides of
+// v's projection x_c, where d = d_J(v, Q) in the stage's residual graph J.
+// Claim 1 guarantees that for every x on Q some landmark ℓ satisfies
+// d_Q(ℓ,x) ≤ (3/4)·d_J(v,x), which drives the O(k² log² n log² Δ) expected
+// greedy hop bound of Theorem 3.
+#pragma once
+
+#include "hierarchy/decomposition_tree.hpp"
+#include "oracle/portals.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::smallworld {
+
+using graph::Vertex;
+using graph::Weight;
+
+class PathSeparatorAugmentation {
+ public:
+  /// Precomputes the projections of every vertex on every separator path
+  /// (one multi-source Dijkstra per path). `aspect_ratio` is Δ (or an
+  /// estimate; it only sizes the geometric landmark scales).
+  PathSeparatorAugmentation(const hierarchy::DecompositionTree& tree,
+                            double aspect_ratio);
+
+  /// One long-range contact for v (root-graph ids). If the sampled (τ, Q)
+  /// is unreachable from v in its residual graph, the draw is retried a few
+  /// times and finally falls back to the nearest vertex of a reachable path
+  /// — a measure-zero deviation kept for robustness on adversarial inputs.
+  Vertex sample_contact(Vertex v, util::Rng& rng) const;
+
+  /// Contacts for all vertices (Definition 4's ⟨G, 𝒟⟩ given that greedy
+  /// routing only consults base-graph distances, so long-range edge weights
+  /// d_G(v, u) need not be materialized).
+  std::vector<Vertex> sample_all(util::Rng& rng) const;
+
+  /// Landmark set L(Q) for v and path index (node, path), root ids; empty if
+  /// unreachable. Exposed for tests of Claim 1.
+  std::vector<Vertex> landmarks(Vertex v, int node_id,
+                                std::size_t path_idx) const;
+
+  double aspect_ratio() const { return aspect_ratio_; }
+
+ private:
+  const hierarchy::DecompositionTree* tree_;
+  double aspect_ratio_;
+  /// projections_[node][path] — d_J(v, Q) and anchor per local vertex.
+  std::vector<std::vector<oracle::PathProjection>> projections_;
+};
+
+}  // namespace pathsep::smallworld

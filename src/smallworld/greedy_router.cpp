@@ -1,0 +1,69 @@
+#include "smallworld/greedy_router.hpp"
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::smallworld {
+
+GreedyResult greedy_route(const graph::Graph& g,
+                          std::span<const graph::Vertex> contacts,
+                          graph::Vertex s, graph::Vertex t,
+                          std::span<const graph::Weight> dist_to_target,
+                          std::size_t max_hops) {
+  GreedyResult result;
+  if (max_hops == 0) max_hops = 4 * g.num_vertices() + 16;
+  graph::Vertex cur = s;
+  while (result.hops < max_hops) {
+    if (cur == t) {
+      result.reached = true;
+      return result;
+    }
+    graph::Vertex best = graph::kInvalidVertex;
+    graph::Weight best_dist = dist_to_target[cur];
+    for (const graph::Arc& a : g.neighbors(cur)) {
+      if (dist_to_target[a.to] < best_dist) {
+        best_dist = dist_to_target[a.to];
+        best = a.to;
+      }
+    }
+    if (!contacts.empty() && contacts[cur] != graph::kInvalidVertex &&
+        dist_to_target[contacts[cur]] < best_dist) {
+      best_dist = dist_to_target[contacts[cur]];
+      best = contacts[cur];
+    }
+    if (best == graph::kInvalidVertex) return result;  // stuck (disconnected)
+    cur = best;
+    ++result.hops;
+  }
+  return result;
+}
+
+GreedyResult greedy_route(const graph::Graph& g,
+                          std::span<const graph::Vertex> contacts,
+                          graph::Vertex s, graph::Vertex t,
+                          std::size_t max_hops) {
+  const sssp::ShortestPaths sp = sssp::dijkstra(g, t);
+  return greedy_route(g, contacts, s, t, sp.dist, max_hops);
+}
+
+GreedyStats evaluate_greedy(const graph::Graph& g,
+                            std::span<const graph::Vertex> contacts,
+                            std::size_t num_pairs, util::Rng& rng,
+                            std::size_t max_hops) {
+  GreedyStats stats;
+  const std::size_t n = g.num_vertices();
+  if (n < 2) return stats;
+  for (std::size_t i = 0; i < num_pairs; ++i) {
+    const auto s = static_cast<graph::Vertex>(rng.next_below(n));
+    auto t = static_cast<graph::Vertex>(rng.next_below(n));
+    while (t == s) t = static_cast<graph::Vertex>(rng.next_below(n));
+    const GreedyResult result = greedy_route(g, contacts, s, t, max_hops);
+    ++stats.pairs;
+    if (result.reached)
+      stats.hops.add(static_cast<double>(result.hops));
+    else
+      ++stats.failures;
+  }
+  return stats;
+}
+
+}  // namespace pathsep::smallworld

@@ -1,0 +1,51 @@
+// Greedy routing on an augmented graph ⟨G, 𝒟⟩ (§4): at every step the
+// packet moves to the neighbor — base-graph neighbors plus the vertex's one
+// directed long-range contact — that is closest to the target in the *base*
+// metric d_G (long-range edges carry weight d_G(v,u) by Definition 4, so the
+// augmented metric equals the base metric).
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pathsep::smallworld {
+
+struct GreedyResult {
+  bool reached = false;
+  std::size_t hops = 0;
+};
+
+/// Routes s -> t. `dist_to_target` must hold d_G(., t) (e.g. one Dijkstra
+/// from t). `contacts[v]` is v's long-range contact or kInvalidVertex.
+/// Gives up after max_hops (0 = 4n as a safety net; greedy strictly
+/// decreases the distance, so it cannot loop).
+GreedyResult greedy_route(const graph::Graph& g,
+                          std::span<const graph::Vertex> contacts,
+                          graph::Vertex s, graph::Vertex t,
+                          std::span<const graph::Weight> dist_to_target,
+                          std::size_t max_hops = 0);
+
+/// Convenience: runs the Dijkstra from t internally.
+GreedyResult greedy_route(const graph::Graph& g,
+                          std::span<const graph::Vertex> contacts,
+                          graph::Vertex s, graph::Vertex t,
+                          std::size_t max_hops = 0);
+
+struct GreedyStats {
+  util::OnlineStats hops;
+  std::size_t pairs = 0;
+  std::size_t failures = 0;
+};
+
+/// Samples `num_pairs` (s, t) pairs uniformly; one Dijkstra per target.
+/// When `resample_contacts` is true a fresh augmentation is drawn per pair
+/// via the provided sampler.
+GreedyStats evaluate_greedy(const graph::Graph& g,
+                            std::span<const graph::Vertex> contacts,
+                            std::size_t num_pairs, util::Rng& rng,
+                            std::size_t max_hops = 0);
+
+}  // namespace pathsep::smallworld

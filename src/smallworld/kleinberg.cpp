@@ -1,0 +1,60 @@
+#include "smallworld/kleinberg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pathsep::smallworld {
+
+std::vector<graph::Vertex> kleinberg_contacts(const graph::GridGraph& grid,
+                                              util::Rng& rng,
+                                              double exponent) {
+  const std::size_t rows = grid.rows, cols = grid.cols;
+  const std::size_t n = rows * cols;
+  if (n < 2) throw std::invalid_argument("grid too small to augment");
+  const std::size_t max_r = rows + cols - 2;
+
+  // CDF over ring radii: P(r) ∝ (number of L1-ring cells = 4r) · r^-α.
+  std::vector<double> cdf(max_r + 1, 0.0);
+  for (std::size_t r = 1; r <= max_r; ++r)
+    cdf[r] = cdf[r - 1] +
+             4.0 * static_cast<double>(r) *
+                 std::pow(static_cast<double>(r), -exponent);
+  const double total = cdf[max_r];
+
+  std::vector<graph::Vertex> contacts(n, graph::kInvalidVertex);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const graph::Vertex v = grid.at(i, j);
+      // Joint rejection over (radius, ring position): accepting only
+      // in-grid cells yields the exact conditional distribution ∝ dist^-α
+      // over the cells that exist.
+      for (;;) {
+        const double x = rng.next_double() * total;
+        std::size_t r = 1;
+        while (cdf[r] < x) ++r;
+        const std::uint64_t t = rng.next_below(4 * r);
+        const std::uint64_t q = t / r, u = t % r;
+        std::int64_t di = 0, dj = 0;
+        const auto ri = static_cast<std::int64_t>(r);
+        const auto ui = static_cast<std::int64_t>(u);
+        switch (q) {
+          case 0: di = ri - ui; dj = ui; break;
+          case 1: di = -ui; dj = ri - ui; break;
+          case 2: di = ui - ri; dj = -ui; break;
+          default: di = ui; dj = ui - ri; break;
+        }
+        const std::int64_t ni = static_cast<std::int64_t>(i) + di;
+        const std::int64_t nj = static_cast<std::int64_t>(j) + dj;
+        if (ni < 0 || nj < 0 || ni >= static_cast<std::int64_t>(rows) ||
+            nj >= static_cast<std::int64_t>(cols))
+          continue;
+        contacts[v] = grid.at(static_cast<std::size_t>(ni),
+                              static_cast<std::size_t>(nj));
+        break;
+      }
+    }
+  }
+  return contacts;
+}
+
+}  // namespace pathsep::smallworld

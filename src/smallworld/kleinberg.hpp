@@ -1,0 +1,21 @@
+// Kleinberg's grid augmentation [29] — the baseline the paper's small-world
+// construction is measured against. Each grid vertex gets one long-range
+// contact sampled with probability proportional to (Manhattan distance)^-α;
+// α = 2 is the harmonic (routable) exponent.
+#pragma once
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::smallworld {
+
+/// One contact per vertex; contacts[v] == kInvalidVertex never happens on
+/// grids with >= 2 vertices. Sampling is O(1) expected per vertex: draw the
+/// ring radius from the explicit radius distribution (the number of cells at
+/// Manhattan distance r grows like 4r), then a uniform cell on the ring,
+/// rejecting positions outside the grid.
+std::vector<graph::Vertex> kleinberg_contacts(const graph::GridGraph& grid,
+                                              util::Rng& rng,
+                                              double exponent = 2.0);
+
+}  // namespace pathsep::smallworld

@@ -1,0 +1,79 @@
+#include "smallworld/landmarks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::smallworld {
+
+Claim1Report verify_claim1(const hierarchy::DecompositionTree& tree,
+                           const PathSeparatorAugmentation& augmentation,
+                           graph::Vertex v, int node_id,
+                           std::size_t path_idx) {
+  const hierarchy::DecompositionNode& node = tree.node(node_id);
+  const hierarchy::NodePath& path = node.paths[path_idx];
+
+  Vertex local = graph::kInvalidVertex;
+  for (const auto& [nid, lid] : tree.chain(v))
+    if (nid == node_id) {
+      local = lid;
+      break;
+    }
+  if (local == graph::kInvalidVertex)
+    throw std::invalid_argument("vertex not contained in node");
+
+  // Residual graph of the path's stage.
+  std::vector<bool> removed(node.graph.num_vertices(), false);
+  for (const auto& p : node.paths)
+    if (p.stage < path.stage)
+      for (Vertex u : p.verts) removed[u] = true;
+  if (removed[local]) return {true, 0.0};  // v not alive in J: vacuous
+
+  const Vertex sources[] = {local};
+  const sssp::ShortestPaths sp =
+      sssp::dijkstra_masked(node.graph, sources, removed);
+
+  // Claim 1 presumes d_J(v, Q) > 0. A vertex on Q itself has exact
+  // along-path distances to every x in Q (Note 1's degenerate case), so the
+  // claim is vacuous there.
+  {
+    Weight d_to_path = graph::kInfiniteWeight;
+    for (Vertex u : path.verts) d_to_path = std::min(d_to_path, sp.dist[u]);
+    if (d_to_path <= 0) return {true, 0.0};
+  }
+
+  // Landmark prefix positions (translate root ids back to path indices).
+  const std::vector<Vertex> lm_roots =
+      augmentation.landmarks(v, node_id, path_idx);
+  if (lm_roots.empty()) return {true, 0.0};  // unreachable: vacuous
+  std::vector<Weight> lm_prefix;
+  for (Vertex root : lm_roots) {
+    bool found = false;
+    for (std::size_t i = 0; i < path.verts.size(); ++i)
+      if (node.root_ids[path.verts[i]] == root) {
+        lm_prefix.push_back(path.prefix[i]);
+        found = true;
+        break;
+      }
+    if (!found) throw std::logic_error("landmark not on its path");
+  }
+
+  Claim1Report report;
+  report.holds = true;
+  for (std::size_t i = 0; i < path.verts.size(); ++i) {
+    const Vertex x = path.verts[i];
+    const Weight dvx = sp.dist[x];
+    if (dvx == graph::kInfiniteWeight || dvx <= 0) continue;
+    Weight best = graph::kInfiniteWeight;
+    for (Weight lp : lm_prefix)
+      best = std::min(best, std::abs(lp - path.prefix[i]));
+    const double ratio = best / dvx;
+    report.worst_ratio = std::max(report.worst_ratio, ratio);
+    if (ratio > 0.75 + 1e-9) report.holds = false;
+  }
+  return report;
+}
+
+}  // namespace pathsep::smallworld

@@ -1,0 +1,22 @@
+// Claim 1 verification utility: for every vertex x on a separator path Q
+// there must be a landmark ℓ in L(Q) with d_Q(ℓ, x) ≤ (3/4)·d_J(v, x).
+// Exposed as a library function so both the unit tests and the benchmark
+// sanity passes can assert the invariant the small-world proof rests on.
+#pragma once
+
+#include "smallworld/augmentation.hpp"
+
+namespace pathsep::smallworld {
+
+struct Claim1Report {
+  bool holds = false;
+  double worst_ratio = 0.0;  ///< max over x of min_ℓ d_Q(ℓ,x) / d_J(v,x)
+};
+
+/// Checks Claim 1 for vertex v (root id) against path `path_idx` of node
+/// `node_id`. Returns holds = true vacuously when v cannot reach Q.
+Claim1Report verify_claim1(const hierarchy::DecompositionTree& tree,
+                           const PathSeparatorAugmentation& augmentation,
+                           graph::Vertex v, int node_id, std::size_t path_idx);
+
+}  // namespace pathsep::smallworld

@@ -1,0 +1,70 @@
+#include "smallworld/nearest_contact.hpp"
+
+#include <queue>
+
+namespace pathsep::smallworld {
+
+NearestContactAugmentation::NearestContactAugmentation(
+    const hierarchy::DecompositionTree& tree)
+    : tree_(&tree) {
+  nearest_.reserve(tree.nodes().size());
+  for (const auto& node : tree.nodes()) {
+    const std::size_t n = node.graph.num_vertices();
+    std::vector<graph::Weight> dist(n, graph::kInfiniteWeight);
+    std::vector<graph::Vertex> nearest(n, graph::kInvalidVertex);
+    struct Entry {
+      graph::Weight d;
+      graph::Vertex v;
+      bool operator>(const Entry& o) const { return d > o.d; }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    for (const auto& path : node.paths)
+      for (graph::Vertex v : path.verts) {
+        if (dist[v] == 0) continue;
+        dist[v] = 0;
+        nearest[v] = v;
+        queue.push({0, v});
+      }
+    while (!queue.empty()) {
+      const auto [d, v] = queue.top();
+      queue.pop();
+      if (d > dist[v]) continue;
+      for (const graph::Arc& a : node.graph.neighbors(v)) {
+        const graph::Weight nd = d + a.weight;
+        if (nd < dist[a.to]) {
+          dist[a.to] = nd;
+          nearest[a.to] = nearest[v];
+          queue.push({nd, a.to});
+        }
+      }
+    }
+    nearest_.push_back(std::move(nearest));
+  }
+}
+
+graph::Vertex NearestContactAugmentation::sample_contact(
+    graph::Vertex v, util::Rng& rng) const {
+  const auto& chain = tree_->chain(v);
+  const auto& [node_id, local] = chain[rng.next_below(chain.size())];
+  const graph::Vertex target =
+      nearest_[static_cast<std::size_t>(node_id)][local];
+  if (target == graph::kInvalidVertex) return v;  // disconnected corner case
+  return tree_->node(node_id).root_ids[target];
+}
+
+std::vector<graph::Vertex> NearestContactAugmentation::sample_all(
+    util::Rng& rng) const {
+  const std::size_t n = tree_->root_graph().num_vertices();
+  std::vector<graph::Vertex> contacts(n);
+  for (graph::Vertex v = 0; v < n; ++v) contacts[v] = sample_contact(v, rng);
+  return contacts;
+}
+
+graph::Weight NearestContactAugmentation::max_path_length() const {
+  graph::Weight best = 0;
+  for (const auto& node : tree_->nodes())
+    for (const auto& path : node.paths) best = std::max(best, path.length());
+  return best;
+}
+
+}  // namespace pathsep::smallworld

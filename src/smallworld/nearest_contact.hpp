@@ -1,0 +1,35 @@
+// Note 2 of §4: when the graph is unweighted and the separator S(H) of each
+// node has small diameter δ, a simpler augmentation beats the landmark
+// construction — after choosing the level τ, the vertex contacts the
+// *closest* vertex of S(H_τ(v)) instead of a random landmark. The expected
+// greedy diameter drops to O(log² n + δ log n).
+#pragma once
+
+#include "hierarchy/decomposition_tree.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::smallworld {
+
+class NearestContactAugmentation {
+ public:
+  /// Precomputes, per decomposition node, each vertex's nearest separator
+  /// vertex (one multi-source BFS over the node's graph per node).
+  explicit NearestContactAugmentation(const hierarchy::DecompositionTree& tree);
+
+  /// Contact for v: uniform level τ over v's chain, then the nearest vertex
+  /// of S(H_τ(v)). Root-graph ids.
+  graph::Vertex sample_contact(graph::Vertex v, util::Rng& rng) const;
+
+  std::vector<graph::Vertex> sample_all(util::Rng& rng) const;
+
+  /// Largest weighted diameter of any single separator path — the δ of
+  /// Note 2 (for multi-path separators this is a lower bound on diam(S)).
+  graph::Weight max_path_length() const;
+
+ private:
+  const hierarchy::DecompositionTree* tree_;
+  /// nearest_[node][local vertex] = local id of the closest S(H) vertex.
+  std::vector<std::vector<graph::Vertex>> nearest_;
+};
+
+}  // namespace pathsep::smallworld

@@ -1,0 +1,86 @@
+#include "sssp/alt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::sssp {
+
+AltOracle::AltOracle(const graph::Graph& g, std::size_t num_landmarks,
+                     util::Rng& rng)
+    : graph_(&g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("empty graph");
+  num_landmarks = std::min(num_landmarks, n);
+  // Farthest-first selection from a random start.
+  graph::Vertex next = static_cast<graph::Vertex>(rng.next_below(n));
+  std::vector<graph::Weight> closest(n, graph::kInfiniteWeight);
+  for (std::size_t l = 0; l < num_landmarks; ++l) {
+    landmarks_.push_back(next);
+    dist_.push_back(dijkstra(g, next).dist);
+    graph::Weight best = -1;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      if (dist_.back()[v] != graph::kInfiniteWeight)
+        closest[v] = std::min(closest[v], dist_.back()[v]);
+      if (closest[v] != graph::kInfiniteWeight && closest[v] > best) {
+        best = closest[v];
+        next = v;
+      }
+    }
+  }
+}
+
+graph::Weight AltOracle::query(graph::Vertex s, graph::Vertex t) const {
+  if (s == t) {
+    last_settled_ = 0;
+    return 0;
+  }
+  const graph::Graph& g = *graph_;
+  const std::size_t n = g.num_vertices();
+  // Feasible potential: max over landmarks of |d(l,t) - d(l,v)|.
+  auto pi = [&](graph::Vertex v) {
+    graph::Weight best = 0;
+    for (const auto& d : dist_) {
+      if (d[v] == graph::kInfiniteWeight || d[t] == graph::kInfiniteWeight)
+        continue;
+      best = std::max(best, std::abs(d[t] - d[v]));
+    }
+    return best;
+  };
+
+  struct Entry {
+    graph::Weight key;  // g-value + potential
+    graph::Weight d;
+    graph::Vertex v;
+    bool operator>(const Entry& o) const { return key > o.key; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::vector<graph::Weight> dist(n, graph::kInfiniteWeight);
+  dist[s] = 0;
+  queue.push({pi(s), 0, s});
+  last_settled_ = 0;
+  while (!queue.empty()) {
+    const auto [key, d, v] = queue.top();
+    queue.pop();
+    if (d > dist[v]) continue;
+    ++last_settled_;
+    if (v == t) return d;
+    for (const graph::Arc& a : g.neighbors(v)) {
+      const graph::Weight nd = d + a.weight;
+      if (nd < dist[a.to]) {
+        dist[a.to] = nd;
+        queue.push({nd + pi(a.to), nd, a.to});
+      }
+    }
+  }
+  return graph::kInfiniteWeight;
+}
+
+std::size_t AltOracle::size_in_words() const {
+  return landmarks_.size() + dist_.size() * (dist_.empty() ? 0 : dist_[0].size());
+}
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,40 @@
+// ALT: A* with landmarks and the triangle inequality (Goldberg–Harrelson).
+//
+// Preprocessing picks a few landmarks and stores exact distances from each
+// to every vertex (O(L·n) words); queries run A* with the potential
+// π(v) = max_ℓ |d(ℓ,t) − d(ℓ,v)|, a feasible lower bound that steers the
+// search toward the target. Exact answers, modest preprocessing — the
+// middle ground between bidirectional Dijkstra and the paper's oracle in
+// the E11 comparison.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::sssp {
+
+class AltOracle {
+ public:
+  /// Chooses `num_landmarks` landmarks farthest-first from a random seed
+  /// vertex and precomputes their distance vectors.
+  AltOracle(const graph::Graph& g, std::size_t num_landmarks, util::Rng& rng);
+
+  /// Exact d(s,t) via A* with the landmark potential.
+  graph::Weight query(graph::Vertex s, graph::Vertex t) const;
+
+  /// Vertices settled by the last query (for the search-size comparison).
+  std::size_t last_settled() const { return last_settled_; }
+
+  std::size_t num_landmarks() const { return dist_.size(); }
+
+  /// L·n distance words plus landmark ids.
+  std::size_t size_in_words() const;
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<graph::Vertex> landmarks_;
+  std::vector<std::vector<graph::Weight>> dist_;  ///< per landmark
+  mutable std::size_t last_settled_ = 0;
+};
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,32 @@
+#include "sssp/apsp.hpp"
+
+#include <algorithm>
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::sssp {
+
+DistanceMatrix::DistanceMatrix(const graph::Graph& g) : n_(g.num_vertices()) {
+  dist_.resize(n_ * n_);
+  for (graph::Vertex u = 0; u < n_; ++u) {
+    const ShortestPaths sp = dijkstra(g, u);
+    std::copy(sp.dist.begin(), sp.dist.end(),
+              dist_.begin() + static_cast<std::ptrdiff_t>(u * n_));
+  }
+}
+
+graph::Weight DistanceMatrix::max_distance() const {
+  graph::Weight best = 0;
+  for (graph::Weight d : dist_)
+    if (d != graph::kInfiniteWeight) best = std::max(best, d);
+  return best;
+}
+
+graph::Weight DistanceMatrix::min_distance() const {
+  graph::Weight best = graph::kInfiniteWeight;
+  for (graph::Weight d : dist_)
+    if (d > 0 && d != graph::kInfiniteWeight) best = std::min(best, d);
+  return best;
+}
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,34 @@
+// Exact all-pairs shortest paths (small graphs; test + baseline oracle use).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::sssp {
+
+/// Dense distance matrix; entry [u][v] == kInfiniteWeight when disconnected.
+/// Runs n Dijkstras: fine up to a few thousand vertices.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(const graph::Graph& g);
+
+  std::size_t num_vertices() const { return n_; }
+  graph::Weight at(graph::Vertex u, graph::Vertex v) const {
+    return dist_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+  /// Memory footprint in 8-byte words (the paper's space unit).
+  std::size_t size_in_words() const { return dist_.size(); }
+
+  /// Largest finite distance (0 on empty graphs).
+  graph::Weight max_distance() const;
+  /// Smallest non-zero finite distance (kInfiniteWeight if none).
+  graph::Weight min_distance() const;
+
+ private:
+  std::size_t n_;
+  std::vector<graph::Weight> dist_;
+};
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,38 @@
+#include "sssp/bfs.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace pathsep::sssp {
+
+BfsResult bfs(const graph::Graph& g, graph::Vertex source) {
+  const graph::Vertex sources[] = {source};
+  return bfs(g, sources);
+}
+
+BfsResult bfs(const graph::Graph& g, std::span<const graph::Vertex> sources) {
+  const std::size_t n = g.num_vertices();
+  BfsResult out;
+  out.hops.assign(n, kUnreachedHops);
+  out.parent.assign(n, graph::kInvalidVertex);
+  std::deque<graph::Vertex> queue;
+  for (graph::Vertex s : sources) {
+    assert(s < n);
+    if (out.hops[s] == 0) continue;
+    out.hops[s] = 0;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const graph::Vertex v = queue.front();
+    queue.pop_front();
+    for (const graph::Arc& a : g.neighbors(v)) {
+      if (out.hops[a.to] != kUnreachedHops) continue;
+      out.hops[a.to] = out.hops[v] + 1;
+      out.parent[a.to] = v;
+      queue.push_back(a.to);
+    }
+  }
+  return out;
+}
+
+}  // namespace pathsep::sssp

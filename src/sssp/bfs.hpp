@@ -1,0 +1,25 @@
+// Unweighted breadth-first search (hop counts).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::sssp {
+
+inline constexpr std::uint32_t kUnreachedHops = 0xffffffffu;
+
+/// Hop distances and BFS-tree parents from one or more sources.
+struct BfsResult {
+  std::vector<std::uint32_t> hops;
+  std::vector<graph::Vertex> parent;
+
+  bool reached(graph::Vertex v) const { return hops[v] != kUnreachedHops; }
+};
+
+BfsResult bfs(const graph::Graph& g, graph::Vertex source);
+BfsResult bfs(const graph::Graph& g, std::span<const graph::Vertex> sources);
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,65 @@
+#include "sssp/bidirectional.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace pathsep::sssp {
+
+namespace {
+
+struct Entry {
+  graph::Weight d;
+  graph::Vertex v;
+  bool operator>(const Entry& o) const { return d > o.d; }
+};
+using MinQueue = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+
+}  // namespace
+
+BidirectionalResult bidirectional_distance(const graph::Graph& g,
+                                           graph::Vertex s, graph::Vertex t) {
+  BidirectionalResult result;
+  if (s == t) {
+    result.distance = 0;
+    return result;
+  }
+  const std::size_t n = g.num_vertices();
+  std::vector<graph::Weight> dist[2] = {
+      std::vector<graph::Weight>(n, graph::kInfiniteWeight),
+      std::vector<graph::Weight>(n, graph::kInfiniteWeight)};
+  std::vector<bool> settled[2] = {std::vector<bool>(n, false),
+                                  std::vector<bool>(n, false)};
+  MinQueue queue[2];
+  dist[0][s] = 0;
+  dist[1][t] = 0;
+  queue[0].push({0, s});
+  queue[1].push({0, t});
+
+  graph::Weight best = graph::kInfiniteWeight;
+  while (!queue[0].empty() && !queue[1].empty()) {
+    // Standard termination: no meeting point can beat `best` once the two
+    // frontiers' minima already sum past it.
+    if (queue[0].top().d + queue[1].top().d >= best) break;
+    // Expand the side with the smaller frontier key.
+    const int side = queue[0].top().d <= queue[1].top().d ? 0 : 1;
+    const auto [d, v] = queue[side].top();
+    queue[side].pop();
+    if (settled[side][v]) continue;
+    settled[side][v] = true;
+    ++result.settled;
+    if (dist[side ^ 1][v] != graph::kInfiniteWeight)
+      best = std::min(best, d + dist[side ^ 1][v]);
+    for (const graph::Arc& a : g.neighbors(v)) {
+      const graph::Weight nd = d + a.weight;
+      if (nd < dist[side][a.to]) {
+        dist[side][a.to] = nd;
+        queue[side].push({nd, a.to});
+      }
+    }
+  }
+  result.distance = best;
+  return result;
+}
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,21 @@
+// Bidirectional Dijkstra: exact point-to-point distances, typically settling
+// far fewer vertices than the unidirectional search. Used as the practical
+// exact baseline in the oracle comparisons (E11) — the strongest fair
+// opponent for query latency at zero preprocessing.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace pathsep::sssp {
+
+struct BidirectionalResult {
+  graph::Weight distance = graph::kInfiniteWeight;
+  std::size_t settled = 0;  ///< vertices permanently labelled by both searches
+};
+
+/// Exact d(s, t) with the standard termination rule (stop when the top keys
+/// of both queues sum past the best meeting point).
+BidirectionalResult bidirectional_distance(const graph::Graph& g,
+                                           graph::Vertex s, graph::Vertex t);
+
+}  // namespace pathsep::sssp

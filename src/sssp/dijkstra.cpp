@@ -1,0 +1,106 @@
+#include "sssp/dijkstra.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace pathsep::sssp {
+
+namespace {
+
+struct QueueEntry {
+  Weight dist;
+  Vertex v;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+ShortestPaths run(const Graph& g, std::span<const Vertex> sources,
+                  const std::vector<bool>* removed, Weight radius,
+                  Vertex target) {
+  const std::size_t n = g.num_vertices();
+  ShortestPaths sp;
+  sp.dist.assign(n, graph::kInfiniteWeight);
+  sp.parent.assign(n, graph::kInvalidVertex);
+  MinQueue queue;
+  for (Vertex s : sources) {
+    assert(s < n);
+    assert(!removed || !(*removed)[s]);
+    if (sp.dist[s] == 0) continue;
+    sp.dist[s] = 0;
+    queue.push({0, s});
+  }
+  while (!queue.empty()) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d > sp.dist[v]) continue;  // stale entry
+    if (d > radius) break;
+    if (v == target) break;
+    for (const graph::Arc& a : g.neighbors(v)) {
+      if (removed && (*removed)[a.to]) continue;
+      const Weight nd = d + a.weight;
+      if (nd < sp.dist[a.to]) {
+        sp.dist[a.to] = nd;
+        sp.parent[a.to] = v;
+        queue.push({nd, a.to});
+      }
+    }
+  }
+  return sp;
+}
+
+}  // namespace
+
+ShortestPaths dijkstra(const Graph& g, Vertex source) {
+  const Vertex sources[] = {source};
+  return run(g, sources, nullptr, graph::kInfiniteWeight, graph::kInvalidVertex);
+}
+
+ShortestPaths dijkstra(const Graph& g, std::span<const Vertex> sources) {
+  return run(g, sources, nullptr, graph::kInfiniteWeight, graph::kInvalidVertex);
+}
+
+ShortestPaths dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
+                              const std::vector<bool>& removed) {
+  assert(removed.empty() || removed.size() == g.num_vertices());
+  return run(g, sources, removed.empty() ? nullptr : &removed,
+             graph::kInfiniteWeight, graph::kInvalidVertex);
+}
+
+ShortestPaths dijkstra_bounded(const Graph& g, Vertex source, Weight radius) {
+  const Vertex sources[] = {source};
+  return run(g, sources, nullptr, radius, graph::kInvalidVertex);
+}
+
+Weight distance(const Graph& g, Vertex s, Vertex t) {
+  const Vertex sources[] = {s};
+  return run(g, sources, nullptr, graph::kInfiniteWeight, t).dist[t];
+}
+
+std::vector<Vertex> extract_path(const ShortestPaths& sp, Vertex t) {
+  if (!sp.reached(t)) return {};
+  std::vector<Vertex> path;
+  for (Vertex v = t; v != graph::kInvalidVertex; v = sp.parent[v]) {
+    path.push_back(v);
+    if (path.size() > sp.parent.size())
+      throw std::logic_error("parent cycle in shortest-path tree");
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Weight path_cost(const Graph& g, std::span<const Vertex> path) {
+  Weight total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Weight w = g.edge_weight(path[i], path[i + 1]);
+    if (w == graph::kInfiniteWeight)
+      throw std::invalid_argument("path edge missing from graph");
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,51 @@
+// Single- and multi-source shortest paths (non-negative weights).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::sssp {
+
+using graph::Graph;
+using graph::Vertex;
+using graph::Weight;
+
+/// Distances and shortest-path-tree parents from one or more sources.
+/// Unreached vertices have dist == kInfiniteWeight and parent ==
+/// kInvalidVertex; sources have parent == kInvalidVertex and dist == 0.
+struct ShortestPaths {
+  std::vector<Weight> dist;
+  std::vector<Vertex> parent;
+
+  bool reached(Vertex v) const { return dist[v] != graph::kInfiniteWeight; }
+};
+
+/// Dijkstra from a single source.
+ShortestPaths dijkstra(const Graph& g, Vertex source);
+
+/// Multi-source Dijkstra: dist[v] = min over sources s of d(s, v).
+ShortestPaths dijkstra(const Graph& g, std::span<const Vertex> sources);
+
+/// Dijkstra ignoring vertices with removed[v] == true (sources must be alive;
+/// pass an empty mask for none). Avoids materializing subgraphs in the
+/// separator validation and landmark code.
+ShortestPaths dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
+                              const std::vector<bool>& removed);
+
+/// Dijkstra that stops settling once every distance <= `radius` is final;
+/// vertices beyond the radius may remain unreached.
+ShortestPaths dijkstra_bounded(const Graph& g, Vertex source, Weight radius);
+
+/// Point-to-point distance with early exit at the target.
+Weight distance(const Graph& g, Vertex s, Vertex t);
+
+/// Path from the tree root (the source that reached `t`) to `t`, inclusive.
+/// Empty if t is unreached.
+std::vector<Vertex> extract_path(const ShortestPaths& sp, Vertex t);
+
+/// Cost of a vertex path in g (consecutive vertices must be adjacent).
+Weight path_cost(const Graph& g, std::span<const Vertex> path);
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,60 @@
+#include "sssp/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sssp/apsp.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::sssp {
+
+graph::Weight eccentricity(const graph::Graph& g, graph::Vertex v) {
+  const ShortestPaths sp = dijkstra(g, v);
+  graph::Weight ecc = 0;
+  for (graph::Weight d : sp.dist)
+    if (d != graph::kInfiniteWeight) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+graph::Weight diameter_lower_bound(const graph::Graph& g, util::Rng& rng,
+                                   std::size_t sweeps) {
+  if (g.num_vertices() == 0)
+    throw std::invalid_argument("diameter of empty graph");
+  graph::Weight best = 0;
+  graph::Vertex start =
+      static_cast<graph::Vertex>(rng.next_below(g.num_vertices()));
+  for (std::size_t i = 0; i < sweeps; ++i) {
+    const ShortestPaths sp = dijkstra(g, start);
+    graph::Vertex far = start;
+    graph::Weight far_dist = 0;
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (sp.dist[v] != graph::kInfiniteWeight && sp.dist[v] > far_dist) {
+        far_dist = sp.dist[v];
+        far = v;
+      }
+    }
+    best = std::max(best, far_dist);
+    start = far;
+  }
+  return best;
+}
+
+graph::Weight exact_diameter(const graph::Graph& g) {
+  return DistanceMatrix(g).max_distance();
+}
+
+double exact_aspect_ratio(const graph::Graph& g) {
+  const DistanceMatrix m(g);
+  const graph::Weight lo = m.min_distance();
+  if (lo == graph::kInfiniteWeight || lo == 0)
+    throw std::invalid_argument("aspect ratio needs >= 2 connected vertices");
+  return m.max_distance() / lo;
+}
+
+double aspect_ratio_estimate(const graph::Graph& g, util::Rng& rng) {
+  if (g.num_edges() == 0)
+    throw std::invalid_argument("aspect ratio needs >= 1 edge");
+  return diameter_lower_bound(g, rng) / g.min_edge_weight();
+}
+
+}  // namespace pathsep::sssp

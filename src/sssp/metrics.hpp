@@ -1,0 +1,31 @@
+// Metric-scale quantities of a weighted graph: eccentricities, diameter
+// estimates and the aspect ratio Delta used throughout §4 of the paper.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep::sssp {
+
+/// Largest distance from v to any reachable vertex.
+graph::Weight eccentricity(const graph::Graph& g, graph::Vertex v);
+
+/// Lower bound on the weighted diameter via `sweeps` double-sweep rounds
+/// (classic heuristic, exact on trees). Graph must be non-empty.
+graph::Weight diameter_lower_bound(const graph::Graph& g, util::Rng& rng,
+                                   std::size_t sweeps = 4);
+
+/// Exact weighted diameter by n Dijkstras (small graphs only).
+graph::Weight exact_diameter(const graph::Graph& g);
+
+/// Aspect ratio Delta = max_{u!=v} d(u,v) / min_{u!=v} d(u,v) (Definition in
+/// §1.2). Exact variant runs n Dijkstras.
+double exact_aspect_ratio(const graph::Graph& g);
+
+/// Cheap estimate of Delta: double-sweep diameter over the minimum edge
+/// weight. The numerator is a lower bound and the denominator an upper bound
+/// on the true min distance, so the estimate can err in either direction but
+/// tracks log Delta well; used only to size landmark scales.
+double aspect_ratio_estimate(const graph::Graph& g, util::Rng& rng);
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,84 @@
+#include "sssp/sp_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pathsep::sssp {
+
+SpTree::SpTree(const Graph& g, Vertex root)
+    : SpTree(dijkstra(g, root), root) {}
+
+SpTree::SpTree(ShortestPaths sp, Vertex root) : sp_(std::move(sp)), root_(root) {
+  if (root_ >= sp_.parent.size() || !sp_.reached(root_))
+    throw std::invalid_argument("root not part of the shortest-path forest");
+  finish_build();
+}
+
+void SpTree::finish_build() {
+  const std::size_t n = sp_.parent.size();
+  children_.assign(n, {});
+  depth_.assign(n, 0);
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex p = sp_.parent[v];
+    if (p != graph::kInvalidVertex) children_[p].push_back(v);
+  }
+  // Iterative DFS from the root; assigns Euler-tour intervals and depths.
+  preorder_.clear();
+  preorder_.reserve(n);
+  std::uint32_t clock = 0;
+  std::vector<std::pair<Vertex, std::size_t>> stack{{root_, 0}};
+  tin_[root_] = clock++;
+  preorder_.push_back(root_);
+  while (!stack.empty()) {
+    auto& [v, next_child] = stack.back();
+    if (next_child < children_[v].size()) {
+      const Vertex c = children_[v][next_child++];
+      depth_[c] = depth_[v] + 1;
+      tin_[c] = clock++;
+      preorder_.push_back(c);
+      stack.push_back({c, 0});
+    } else {
+      tout_[v] = clock++;
+      stack.pop_back();
+    }
+  }
+  // Every reached vertex must have been visited from the root.
+  for (Vertex v = 0; v < n; ++v) {
+    if (sp_.reached(v) && v != root_ && tin_[v] == 0)
+      throw std::invalid_argument("forest has a reached vertex outside root's tree");
+  }
+}
+
+std::vector<Vertex> SpTree::root_path(Vertex v) const {
+  if (!contains(v)) throw std::invalid_argument("vertex not in tree");
+  std::vector<Vertex> path;
+  for (Vertex u = v; u != graph::kInvalidVertex; u = sp_.parent[u])
+    path.push_back(u);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<Vertex> SpTree::monotone_path(Vertex a, Vertex b) const {
+  if (is_ancestor(a, b)) {
+    std::vector<Vertex> path;
+    for (Vertex u = b;; u = sp_.parent[u]) {
+      path.push_back(u);
+      if (u == a) break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+  if (is_ancestor(b, a)) {
+    std::vector<Vertex> path;
+    for (Vertex u = a;; u = sp_.parent[u]) {
+      path.push_back(u);
+      if (u == b) break;
+    }
+    return path;
+  }
+  throw std::invalid_argument("monotone_path: vertices are not relatives");
+}
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,57 @@
+// Rooted shortest-path trees with ancestry queries.
+//
+// The planar separator (Thorup's construction) works with root-monotone
+// paths of a shortest-path tree; SpTree packages the parent array with the
+// children lists, depths, and Euler-tour intervals needed for O(1)
+// is_ancestor checks and root-path extraction.
+#pragma once
+
+#include <vector>
+
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::sssp {
+
+class SpTree {
+ public:
+  /// Builds from a Dijkstra/BFS result. Every reached vertex must belong to
+  /// the single tree rooted at `root`.
+  SpTree(const Graph& g, Vertex root);
+  SpTree(ShortestPaths sp, Vertex root);
+
+  Vertex root() const { return root_; }
+  std::size_t num_vertices() const { return parent().size(); }
+  bool contains(Vertex v) const { return sp_.reached(v); }
+
+  const std::vector<Vertex>& parent() const { return sp_.parent; }
+  const std::vector<Weight>& dist() const { return sp_.dist; }
+  const std::vector<Vertex>& children(Vertex v) const { return children_[v]; }
+  std::uint32_t depth(Vertex v) const { return depth_[v]; }
+
+  /// True iff a is an ancestor of b (a == b counts).
+  bool is_ancestor(Vertex a, Vertex b) const {
+    return tin_[a] <= tin_[b] && tout_[b] <= tout_[a];
+  }
+
+  /// Vertices on the tree path from root to v, root first.
+  std::vector<Vertex> root_path(Vertex v) const;
+
+  /// Tree path between two *related* vertices (one must be the other's
+  /// ancestor), from a to b. Throws if unrelated.
+  std::vector<Vertex> monotone_path(Vertex a, Vertex b) const;
+
+  /// Vertices in DFS preorder (root first).
+  const std::vector<Vertex>& preorder() const { return preorder_; }
+
+ private:
+  void finish_build();
+
+  ShortestPaths sp_;
+  Vertex root_;
+  std::vector<std::vector<Vertex>> children_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> tin_, tout_;
+  std::vector<Vertex> preorder_;
+};
+
+}  // namespace pathsep::sssp

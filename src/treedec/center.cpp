@@ -1,0 +1,85 @@
+#include "treedec/center.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pathsep::treedec {
+
+int center_bag(const TreeDecomposition& td, const Graph& g) {
+  const std::vector<double> ones(g.num_vertices(), 1.0);
+  return center_bag(td, g, ones);
+}
+
+int center_bag(const TreeDecomposition& td, const Graph& g,
+               std::span<const double> vertex_weight) {
+  const std::size_t n = g.num_vertices();
+  if (vertex_weight.size() != n)
+    throw std::invalid_argument("vertex_weight size mismatch");
+  const std::size_t nb = td.num_bags();
+  if (nb == 0) throw std::invalid_argument("empty tree decomposition");
+
+  // Root the decomposition tree at bag 0 (BFS order).
+  std::vector<int> par(nb, -1), order;
+  std::vector<std::uint32_t> depth(nb, 0);
+  std::vector<bool> seen(nb, false);
+  order.reserve(nb);
+  order.push_back(0);
+  seen[0] = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int b = order[i];
+    for (int c : td.adj[static_cast<std::size_t>(b)]) {
+      if (seen[static_cast<std::size_t>(c)]) continue;
+      seen[static_cast<std::size_t>(c)] = true;
+      par[static_cast<std::size_t>(c)] = b;
+      depth[static_cast<std::size_t>(c)] = depth[static_cast<std::size_t>(b)] + 1;
+      order.push_back(c);
+    }
+  }
+  if (order.size() != nb)
+    throw std::invalid_argument("bag adjacency is not connected");
+
+  // Weight of a bag = number of vertices whose topmost (minimum-depth) bag
+  // it is. The bags containing a vertex form a subtree, so the topmost bag
+  // is unique.
+  std::vector<double> weight(nb, 0.0);
+  {
+    std::vector<int> topmost(n, -1);
+    for (std::size_t b = 0; b < nb; ++b)
+      for (Vertex v : td.bags[b]) {
+        if (v >= n) throw std::invalid_argument("bag vertex out of range");
+        if (topmost[v] == -1 ||
+            depth[b] < depth[static_cast<std::size_t>(topmost[v])])
+          topmost[v] = static_cast<int>(b);
+      }
+    for (Vertex v = 0; v < n; ++v) {
+      if (topmost[v] == -1)
+        throw std::invalid_argument("vertex missing from all bags");
+      weight[static_cast<std::size_t>(topmost[v])] += vertex_weight[v];
+    }
+  }
+
+  // Weighted centroid of the rooted tree.
+  std::vector<double> subtree(weight);
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const int b = order[i];
+    if (par[static_cast<std::size_t>(b)] >= 0)
+      subtree[static_cast<std::size_t>(par[static_cast<std::size_t>(b)])] +=
+          subtree[static_cast<std::size_t>(b)];
+  }
+  const double total = subtree[0];
+  int best = 0;
+  double best_balance = std::numeric_limits<double>::infinity();
+  for (std::size_t b = 0; b < nb; ++b) {
+    double balance = total - subtree[b];
+    for (int c : td.adj[b])
+      if (par[static_cast<std::size_t>(c)] == static_cast<int>(b))
+        balance = std::max(balance, subtree[static_cast<std::size_t>(c)]);
+    if (balance < best_balance) {
+      best_balance = balance;
+      best = static_cast<int>(b);
+    }
+  }
+  return best;
+}
+
+}  // namespace pathsep::treedec

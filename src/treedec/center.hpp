@@ -1,0 +1,25 @@
+// Lemma 1 (center bag): every tree decomposition has a bag whose removal
+// leaves connected components of at most n/2 vertices.
+#pragma once
+
+#include <span>
+
+#include "treedec/tree_decomposition.hpp"
+
+namespace pathsep::treedec {
+
+/// Returns the id of a center bag of `td` for graph `g`.
+///
+/// Implementation: assign each vertex of g to its topmost bag after rooting
+/// the decomposition tree, then take the weighted centroid bag. Every
+/// component of G \ bag maps into one component of the decomposition tree
+/// minus the bag, whose assigned weight the centroid bounds by n/2.
+int center_bag(const TreeDecomposition& td, const Graph& g);
+
+/// Vertex-weighted Lemma 1 (the Note after Theorem 1): components of
+/// G \ bag have vertex-weight at most half the total. `vertex_weight` needs
+/// one non-negative entry per vertex.
+int center_bag(const TreeDecomposition& td, const Graph& g,
+               std::span<const double> vertex_weight);
+
+}  // namespace pathsep::treedec

@@ -1,0 +1,109 @@
+#include "treedec/clique_weight.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+
+namespace pathsep::treedec {
+
+double CliqueWeight::weight_of(const std::vector<bool>& members) const {
+  double f = 0;
+  for (std::size_t i = 0; i < cliques.size(); ++i) {
+    for (Vertex v : cliques[i]) {
+      if (members[v]) {
+        f += weight[i];
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+double CliqueWeight::total() const {
+  double f = 0;
+  for (double w : weight) f += w;
+  return f;
+}
+
+Torso torso_of_bag(const Graph& g, const TreeDecomposition& td, int bag_id) {
+  const auto& bag = td.bags[static_cast<std::size_t>(bag_id)];
+  Torso torso;
+  torso.to_parent = bag;  // bags are sorted
+  std::vector<Vertex> local_of(g.num_vertices(), graph::kInvalidVertex);
+  for (std::size_t i = 0; i < bag.size(); ++i)
+    local_of[bag[i]] = static_cast<Vertex>(i);
+
+  std::set<std::pair<Vertex, Vertex>> edges;
+  // Induced edges of the bag.
+  for (Vertex u : bag)
+    for (const graph::Arc& a : g.neighbors(u))
+      if (a.to > u && local_of[a.to] != graph::kInvalidVertex)
+        edges.insert({local_of[u], local_of[a.to]});
+  // Joint sets (intersections with neighbor bags) become cliques.
+  for (int nb : td.adj[static_cast<std::size_t>(bag_id)]) {
+    std::vector<Vertex> joint;
+    for (Vertex v : td.bags[static_cast<std::size_t>(nb)])
+      if (local_of[v] != graph::kInvalidVertex) joint.push_back(local_of[v]);
+    for (std::size_t i = 0; i < joint.size(); ++i)
+      for (std::size_t j = i + 1; j < joint.size(); ++j)
+        edges.insert({std::min(joint[i], joint[j]),
+                      std::max(joint[i], joint[j])});
+  }
+  graph::GraphBuilder builder(bag.size());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  torso.graph = std::move(builder).build();
+  return torso;
+}
+
+CliqueWeight lemma5_clique_weight(const Graph& g, const TreeDecomposition& td,
+                                  int bag_id, const Torso& torso) {
+  const auto& bag = td.bags[static_cast<std::size_t>(bag_id)];
+  std::vector<Vertex> local_of(g.num_vertices(), graph::kInvalidVertex);
+  for (std::size_t i = 0; i < bag.size(); ++i)
+    local_of[bag[i]] = static_cast<Vertex>(i);
+  if (torso.to_parent != bag)
+    throw std::invalid_argument("torso does not belong to this bag");
+
+  CliqueWeight cw;
+  // Singleton cliques: each bag vertex counts for itself.
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    cw.cliques.push_back({static_cast<Vertex>(i)});
+    cw.weight.push_back(1.0);
+  }
+  // One clique per component of g minus the bag: its bag-neighborhood,
+  // weighted by the component size.
+  std::vector<bool> removed(g.num_vertices(), false);
+  for (Vertex v : bag) removed[v] = true;
+  const graph::Components comps = graph::connected_components(g, removed);
+  std::vector<std::set<Vertex>> neighborhood(comps.count());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto label = comps.label[v];
+    if (label == graph::Components::kRemoved) continue;
+    for (const graph::Arc& a : g.neighbors(v))
+      if (local_of[a.to] != graph::kInvalidVertex)
+        neighborhood[label].insert(local_of[a.to]);
+  }
+  for (std::size_t c = 0; c < comps.count(); ++c) {
+    if (neighborhood[c].empty()) continue;  // detached piece: cannot rejoin
+    cw.cliques.push_back(
+        {neighborhood[c].begin(), neighborhood[c].end()});
+    cw.weight.push_back(static_cast<double>(comps.size[c]));
+  }
+  return cw;
+}
+
+std::size_t largest_component_after_torso_separator(
+    const Graph& g, const Torso& torso,
+    const std::vector<bool>& torso_separator) {
+  if (torso_separator.size() != torso.graph.num_vertices())
+    throw std::invalid_argument("separator mask size mismatch");
+  std::vector<bool> removed(g.num_vertices(), false);
+  for (Vertex local = 0; local < torso.graph.num_vertices(); ++local)
+    if (torso_separator[local]) removed[torso.to_parent[local]] = true;
+  const graph::Components comps = graph::connected_components(g, removed);
+  return comps.count() == 0 ? 0 : comps.largest();
+}
+
+}  // namespace pathsep::treedec

@@ -1,0 +1,55 @@
+// Clique-weights and Lemma 5 (§3, Step 3).
+//
+// A clique-weight (𝒦, ω) assigns non-negative weights to cliques of a graph;
+// the weight of a subgraph A is f(A) = Σ { ω(K) : K ∈ 𝒦, K ∩ A ≠ ∅ }. This
+// generalizes vertex weights and captures, for the torso of a center bag C,
+// how heavy the components hanging off each joint set are: Lemma 5 builds a
+// clique-weight on the torso C̃ such that *any* half-size separator of C̃
+// (components of f-weight ≤ f(C̃)/2) also halves the original graph by
+// vertex count.
+#pragma once
+
+#include <span>
+
+#include "treedec/tree_decomposition.hpp"
+
+namespace pathsep::treedec {
+
+struct CliqueWeight {
+  /// Cliques as sorted vertex lists, parallel to `weight`.
+  std::vector<std::vector<Vertex>> cliques;
+  std::vector<double> weight;
+
+  /// f(A) for a subgraph given by a membership mask over the host graph's
+  /// vertices: sum of weights of cliques intersecting A.
+  double weight_of(const std::vector<bool>& members) const;
+
+  /// f of the whole host graph (every clique counted).
+  double total() const;
+};
+
+/// The torso of bag `bag_id`: the subgraph of g induced by the bag with
+/// every joint set (intersection with a neighboring bag) completed into a
+/// clique. Returned with local ids following the bag's sorted vertex order.
+struct Torso {
+  Graph graph;                    ///< torso of the bag, local ids
+  std::vector<Vertex> to_parent;  ///< local id -> id in g
+};
+Torso torso_of_bag(const Graph& g, const TreeDecomposition& td, int bag_id);
+
+/// Lemma 5's clique-weight for the torso of `bag_id` (local torso ids):
+/// a singleton clique of weight 1 per bag vertex, plus, for every connected
+/// component A of g minus the bag, the clique N(A) ∩ bag with weight |A|.
+CliqueWeight lemma5_clique_weight(const Graph& g, const TreeDecomposition& td,
+                                  int bag_id, const Torso& torso);
+
+/// Lemma 5, checked end-to-end: removing `separator` (torso-local ids whose
+/// mask is given) from g (after translating through the torso id map) must
+/// leave components of at most n/2 vertices whenever the separator is
+/// half-size for the clique-weight. Returns the largest component of
+/// g minus the translated separator — the quantity Lemma 5 bounds.
+std::size_t largest_component_after_torso_separator(
+    const Graph& g, const Torso& torso,
+    const std::vector<bool>& torso_separator);
+
+}  // namespace pathsep::treedec

@@ -1,0 +1,96 @@
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <set>
+
+#include "treedec/tree_decomposition.hpp"
+
+namespace pathsep::treedec {
+
+namespace {
+
+/// Mutable fill-in graph shared by the elimination heuristics.
+struct FillGraph {
+  explicit FillGraph(const Graph& g) : adj(g.num_vertices()) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      for (const graph::Arc& a : g.neighbors(v)) adj[v].insert(a.to);
+  }
+
+  /// Removes v and connects its remaining neighbors into a clique.
+  void eliminate(Vertex v) {
+    std::vector<Vertex> nbrs(adj[v].begin(), adj[v].end());
+    for (Vertex u : nbrs) adj[u].erase(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        adj[nbrs[i]].insert(nbrs[j]);
+        adj[nbrs[j]].insert(nbrs[i]);
+      }
+    adj[v].clear();
+  }
+
+  /// Number of missing edges among v's neighbors (min-fill score).
+  std::size_t fill_cost(Vertex v) const {
+    std::size_t missing = 0;
+    std::vector<Vertex> nbrs(adj[v].begin(), adj[v].end());
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+        if (!adj[nbrs[i]].count(nbrs[j])) ++missing;
+    return missing;
+  }
+
+  std::vector<std::set<Vertex>> adj;
+};
+
+}  // namespace
+
+std::vector<Vertex> min_degree_order(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  FillGraph fg(g);
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> done(n, false);
+  // Lazy priority queue keyed by (degree, vertex).
+  using Entry = std::pair<std::size_t, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  for (Vertex v = 0; v < n; ++v) queue.push({fg.adj[v].size(), v});
+  while (!queue.empty()) {
+    const auto [deg, v] = queue.top();
+    queue.pop();
+    if (done[v] || deg != fg.adj[v].size()) continue;  // stale
+    done[v] = true;
+    order.push_back(v);
+    std::vector<Vertex> nbrs(fg.adj[v].begin(), fg.adj[v].end());
+    fg.eliminate(v);
+    for (Vertex u : nbrs)
+      if (!done[u]) queue.push({fg.adj[u].size(), u});
+  }
+  assert(order.size() == n);
+  return order;
+}
+
+std::vector<Vertex> min_fill_order(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  FillGraph fg(g);
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> done(n, false);
+  for (std::size_t step = 0; step < n; ++step) {
+    Vertex best = graph::kInvalidVertex;
+    std::size_t best_cost = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (done[v]) continue;
+      const std::size_t cost = fg.fill_cost(v);
+      if (best == graph::kInvalidVertex || cost < best_cost ||
+          (cost == best_cost && fg.adj[v].size() < fg.adj[best].size())) {
+        best = v;
+        best_cost = cost;
+      }
+    }
+    done[best] = true;
+    order.push_back(best);
+    fg.eliminate(best);
+  }
+  return order;
+}
+
+}  // namespace pathsep::treedec

@@ -1,0 +1,169 @@
+#include "treedec/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace pathsep::treedec {
+
+std::size_t TreeDecomposition::width() const {
+  std::size_t w = 0;
+  for (const auto& bag : bags) w = std::max(w, bag.size());
+  return w == 0 ? 0 : w - 1;
+}
+
+bool TreeDecomposition::validate(const Graph& g, std::string* error) const {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  const std::size_t n = g.num_vertices();
+
+  // Axiom 1: every vertex appears in some bag (collect membership).
+  std::vector<std::vector<int>> bags_of(n);
+  for (std::size_t b = 0; b < bags.size(); ++b)
+    for (Vertex v : bags[b]) {
+      if (v >= n) return fail("bag contains out-of-range vertex");
+      bags_of[v].push_back(static_cast<int>(b));
+    }
+  for (Vertex v = 0; v < n; ++v)
+    if (bags_of[v].empty())
+      return fail("vertex " + std::to_string(v) + " is in no bag");
+
+  // Axiom 2: every edge is inside some bag.
+  for (Vertex u = 0; u < n; ++u)
+    for (const graph::Arc& a : g.neighbors(u)) {
+      if (a.to < u) continue;
+      bool found = false;
+      for (int b : bags_of[u]) {
+        const auto& bag = bags[static_cast<std::size_t>(b)];
+        if (std::binary_search(bag.begin(), bag.end(), a.to)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        return fail("edge {" + std::to_string(u) + "," + std::to_string(a.to) +
+                    "} is in no bag");
+    }
+
+  // The bag adjacency must be a tree.
+  if (!bags.empty()) {
+    std::size_t edges = 0;
+    for (const auto& nbrs : adj) edges += nbrs.size();
+    edges /= 2;
+    if (edges != bags.size() - 1) return fail("bag adjacency is not a tree");
+    std::vector<bool> seen(bags.size(), false);
+    std::vector<int> stack{0};
+    seen[0] = true;
+    std::size_t visited = 0;
+    while (!stack.empty()) {
+      const int b = stack.back();
+      stack.pop_back();
+      ++visited;
+      for (int c : adj[static_cast<std::size_t>(b)])
+        if (!seen[static_cast<std::size_t>(c)]) {
+          seen[static_cast<std::size_t>(c)] = true;
+          stack.push_back(c);
+        }
+    }
+    if (visited != bags.size()) return fail("bag adjacency is disconnected");
+  }
+
+  // Axiom 3: bags containing each vertex induce a subtree (connected).
+  for (Vertex v = 0; v < n; ++v) {
+    const auto& mine = bags_of[v];
+    std::set<int> member(mine.begin(), mine.end());
+    std::vector<int> stack{mine[0]};
+    std::set<int> seen{mine[0]};
+    while (!stack.empty()) {
+      const int b = stack.back();
+      stack.pop_back();
+      for (int c : adj[static_cast<std::size_t>(b)])
+        if (member.count(c) && !seen.count(c)) {
+          seen.insert(c);
+          stack.push_back(c);
+        }
+    }
+    if (seen.size() != member.size())
+      return fail("bags of vertex " + std::to_string(v) +
+                  " do not induce a subtree");
+  }
+  if (error) error->clear();
+  return true;
+}
+
+TreeDecomposition from_elimination_order(const Graph& g,
+                                         std::span<const Vertex> order) {
+  const std::size_t n = g.num_vertices();
+  assert(order.size() == n);
+  std::vector<std::size_t> position(n);
+  for (std::size_t i = 0; i < n; ++i) position[order[i]] = i;
+
+  // Simulate elimination with fill-in; record each vertex's bag.
+  std::vector<std::set<Vertex>> adj(n);
+  for (Vertex v = 0; v < n; ++v)
+    for (const graph::Arc& a : g.neighbors(v)) adj[v].insert(a.to);
+
+  TreeDecomposition td;
+  td.bags.assign(n, {});
+  td.adj.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vertex v = order[i];
+    std::vector<Vertex> higher(adj[v].begin(), adj[v].end());
+    // Bag = {v} + later-eliminated neighbors in the fill graph.
+    td.bags[i].push_back(v);
+    for (Vertex u : higher) td.bags[i].push_back(u);
+    std::sort(td.bags[i].begin(), td.bags[i].end());
+    // Parent bag: the bag of the earliest-eliminated later neighbor.
+    if (!higher.empty()) {
+      std::size_t parent_pos = position[higher[0]];
+      for (Vertex u : higher) parent_pos = std::min(parent_pos, position[u]);
+      td.adj[i].push_back(static_cast<int>(parent_pos));
+      td.adj[parent_pos].push_back(static_cast<int>(i));
+    }
+    // Eliminate v: clique its neighbors, drop v.
+    for (Vertex u : higher) adj[u].erase(v);
+    for (std::size_t a = 0; a < higher.size(); ++a)
+      for (std::size_t b = a + 1; b < higher.size(); ++b) {
+        adj[higher[a]].insert(higher[b]);
+        adj[higher[b]].insert(higher[a]);
+      }
+    adj[v].clear();
+  }
+
+  // A disconnected graph yields a forest of bags; chain the roots so the
+  // adjacency is a single tree (harmless: the axioms still hold).
+  std::vector<int> roots;
+  {
+    std::vector<bool> seen(n, false);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (seen[b]) continue;
+      roots.push_back(static_cast<int>(b));
+      std::vector<int> stack{static_cast<int>(b)};
+      seen[b] = true;
+      while (!stack.empty()) {
+        const int x = stack.back();
+        stack.pop_back();
+        for (int y : td.adj[static_cast<std::size_t>(x)])
+          if (!seen[static_cast<std::size_t>(y)]) {
+            seen[static_cast<std::size_t>(y)] = true;
+            stack.push_back(y);
+          }
+      }
+    }
+  }
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    td.adj[static_cast<std::size_t>(roots[i - 1])].push_back(roots[i]);
+    td.adj[static_cast<std::size_t>(roots[i])].push_back(roots[i - 1]);
+  }
+  return td;
+}
+
+TreeDecomposition heuristic_decomposition(const Graph& g) {
+  const std::vector<Vertex> order = min_degree_order(g);
+  return from_elimination_order(g, order);
+}
+
+}  // namespace pathsep::treedec

@@ -1,0 +1,50 @@
+// Tree decompositions (§2.1 of the paper).
+//
+// Exact treewidth is NP-hard; the separator layer only needs *some*
+// decomposition of reasonable width, because a bag of size w+1 is a strong
+// (w+1)-path separator (each bag vertex is a trivial shortest path; Thm 7).
+// We build decompositions from elimination orders (min-degree or min-fill
+// heuristics), which are exact on chordal graphs — in particular on the
+// k-trees used in the experiments.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::treedec {
+
+using graph::Graph;
+using graph::Vertex;
+
+struct TreeDecomposition {
+  /// Bags of vertices (each sorted ascending).
+  std::vector<std::vector<Vertex>> bags;
+  /// Tree adjacency between bag ids (a forest is linked into a tree).
+  std::vector<std::vector<int>> adj;
+
+  std::size_t num_bags() const { return bags.size(); }
+
+  /// max |bag| - 1.
+  std::size_t width() const;
+
+  /// Verifies the three tree-decomposition axioms against g. On failure
+  /// returns false and, if `error` is non-null, a human-readable reason.
+  bool validate(const Graph& g, std::string* error = nullptr) const;
+};
+
+/// Elimination heuristics. Both return a permutation of the vertices.
+std::vector<Vertex> min_degree_order(const Graph& g);
+std::vector<Vertex> min_fill_order(const Graph& g);
+
+/// Builds a decomposition by simulating the elimination of `order` with
+/// fill-in: bag(v) = {v} + not-yet-eliminated neighbors at v's turn.
+TreeDecomposition from_elimination_order(const Graph& g,
+                                         std::span<const Vertex> order);
+
+/// Convenience: min-degree order + from_elimination_order.
+TreeDecomposition heuristic_decomposition(const Graph& g);
+
+}  // namespace pathsep::treedec

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --flag switches.
+// Unknown flags are collected so callers can report them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pathsep::util {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  /// Non-flag positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were parsed but never queried via any getter; lets binaries
+  /// warn about typos like --episilon.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pathsep::util

@@ -1,0 +1,54 @@
+// Minimal data-parallel helper: run fn(i) for i in [0, count) on a small
+// thread pool. Exceptions from workers are rethrown on the caller (first
+// one wins). Used by the oracle build, whose per-node work is independent.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pathsep::util {
+
+/// Runs fn(0..count-1) across up to `threads` workers (0 = hardware
+/// concurrency, capped at 8). Falls back to serial execution for tiny
+/// ranges. fn must be safe to call concurrently for distinct indices.
+inline void parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& fn,
+                         std::size_t threads = 0) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    threads = std::min<std::size_t>(threads, 8);
+  }
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count || failed.load()) return;
+        try {
+          fn(i);
+        } catch (...) {
+          if (!failed.exchange(true)) error = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pathsep::util

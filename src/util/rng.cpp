@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pathsep::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& lane : state_) lane = splitmix64(s);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire-style rejection for an unbiased result.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double x = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last index
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected inserts, no O(n) scratch when k << n.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = next_below(j + 1);
+    bool seen = false;
+    for (std::size_t v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  shuffle(out);
+  return out;
+}
+
+Rng Rng::split() {
+  std::uint64_t s = (*this)();
+  return Rng(s);
+}
+
+}  // namespace pathsep::util

@@ -1,0 +1,49 @@
+// Online and batch summary statistics used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pathsep::util {
+
+/// Welford-style online accumulator: mean / variance / min / max in O(1)
+/// space, numerically stable for long benchmark runs.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch percentile over a copy of the samples (nearest-rank with linear
+/// interpolation). q in [0,1]. Returns 0 on empty input.
+double percentile(std::vector<double> samples, double q);
+
+/// Least-squares fit y = a + b*x. Returns {a, b, r2}. Used to check the
+/// paper's asymptotic claims (e.g. label size vs log n).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Human-readable byte / count formatting for report rows.
+std::string format_count(double v);
+
+}  // namespace pathsep::util

@@ -1,0 +1,41 @@
+// Aligned text tables and CSV emission for experiment reports.
+//
+// Every bench binary prints its rows through TableWriter so that
+// EXPERIMENTS.md and bench_output.txt share one canonical format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pathsep::util {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for terminals / EXPERIMENTS.md) or as CSV.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with two-space gutters, left-aligned text, right-aligned
+  /// numeric-looking cells.
+  std::string to_text() const;
+
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string formatting used to build table cells.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pathsep::util

@@ -1,0 +1,3 @@
+#include "util/timer.hpp"
+
+// Header-only today; the translation unit anchors the library target.

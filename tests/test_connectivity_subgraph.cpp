@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+
+namespace pathsep::graph {
+namespace {
+
+Graph two_triangles() {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  return std::move(b).build();
+}
+
+TEST(Connectivity, SingleComponent) {
+  const Graph g = path_graph(5);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.largest(), 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, TwoComponents) {
+  const Graph g = two_triangles();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.size[0], 3u);
+  EXPECT_EQ(c.size[1], 3u);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+}
+
+TEST(Connectivity, MaskSplitsPath) {
+  const Graph g = path_graph(5);  // 0-1-2-3-4
+  std::vector<bool> removed(5, false);
+  removed[2] = true;
+  const Components c = connected_components(g, removed);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.largest(), 2u);
+  EXPECT_EQ(c.label[2], Components::kRemoved);
+}
+
+TEST(Connectivity, LargestIdPicksBiggest) {
+  const Graph g = path_graph(7);
+  std::vector<bool> removed(7, false);
+  removed[1] = true;  // components {0} and {2..6}
+  const Components c = connected_components(g, removed);
+  EXPECT_EQ(c.size[c.largest_id()], 5u);
+}
+
+TEST(Connectivity, ComponentOfReturnsSortedMembers) {
+  const Graph g = two_triangles();
+  EXPECT_EQ(component_of(g, 4), (std::vector<Vertex>{3, 4, 5}));
+  std::vector<bool> removed(6, false);
+  removed[1] = true;
+  EXPECT_EQ(component_of(g, 0, removed), (std::vector<Vertex>{0, 2}));
+}
+
+TEST(Connectivity, EmptyGraphIsConnected) {
+  EXPECT_TRUE(is_connected(GraphBuilder(0).build()));
+}
+
+TEST(SubgraphTest, InducedKeepsInternalEdges) {
+  const GridGraph gg = grid(3, 3);
+  const Subgraph sub = induced_subgraph(gg.graph, {0, 1, 3, 4});
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 4u);  // the 2x2 sub-square
+  EXPECT_EQ(sub.to_parent.size(), 4u);
+}
+
+TEST(SubgraphTest, IdMapsAreInverse) {
+  const GridGraph gg = grid(4, 4);
+  const Subgraph sub = induced_subgraph(gg.graph, {2, 7, 5, 11});
+  for (Vertex local = 0; local < sub.graph.num_vertices(); ++local)
+    EXPECT_EQ(sub.from_parent[sub.to_parent[local]], local);
+  std::size_t mapped = 0;
+  for (Vertex p = 0; p < gg.graph.num_vertices(); ++p)
+    if (sub.from_parent[p] != kInvalidVertex) ++mapped;
+  EXPECT_EQ(mapped, 4u);
+}
+
+TEST(SubgraphTest, LocalIdsFollowSortedParentOrder) {
+  const Graph g = path_graph(6);
+  const Subgraph sub = induced_subgraph(g, {5, 1, 3});
+  EXPECT_EQ(sub.to_parent, (std::vector<Vertex>{1, 3, 5}));
+}
+
+TEST(SubgraphTest, WeightsArePreserved) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.5);
+  b.add_edge(1, 2, 7.0);
+  const Graph g = std::move(b).build();
+  const Subgraph sub = induced_subgraph(g, {0, 1});
+  EXPECT_DOUBLE_EQ(sub.graph.edge_weight(0, 1), 2.5);
+}
+
+TEST(SubgraphTest, RejectsDuplicatesAndOutOfRange) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW(induced_subgraph(g, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(induced_subgraph(g, {9}), std::out_of_range);
+}
+
+TEST(SubgraphTest, RemoveVerticesComplementsMask) {
+  const Graph g = path_graph(5);
+  std::vector<bool> removed{false, true, false, true, false};
+  const Subgraph sub = remove_vertices(g, removed);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+  EXPECT_EQ(sub.to_parent, (std::vector<Vertex>{0, 2, 4}));
+}
+
+TEST(SubgraphTest, EmptySelection) {
+  const Graph g = path_graph(3);
+  const Subgraph sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace pathsep::graph

@@ -1,0 +1,210 @@
+#include "embed/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "embed/dual.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sssp/sp_tree.hpp"
+
+namespace pathsep::embed {
+namespace {
+
+using graph::GeometricGraph;
+using graph::GridGraph;
+
+TEST(Embedding, TriangleHasTwoFaces) {
+  util::Rng rng(1);
+  const GeometricGraph gg = graph::random_apollonian(3, rng);
+  const PlanarEmbedding pe(gg.graph, gg.positions);
+  EXPECT_EQ(pe.num_half_edges(), 6u);
+  const FaceSet faces(pe);
+  EXPECT_EQ(faces.count(), 2u);
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+}
+
+TEST(Embedding, TwinsAndOrigins) {
+  const GridGraph gg = graph::grid(2, 2);
+  const PlanarEmbedding pe(gg.graph, gg.positions);
+  for (int h = 0; h < static_cast<int>(pe.num_half_edges()); ++h) {
+    EXPECT_EQ(pe.origin(h), pe.target(PlanarEmbedding::twin(h)));
+    EXPECT_NE(pe.origin(h), pe.target(h));
+  }
+}
+
+TEST(Embedding, GridSatisfiesEuler) {
+  const GridGraph gg = graph::grid(4, 5);
+  const PlanarEmbedding pe(gg.graph, gg.positions);
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+  const FaceSet faces(pe);
+  // 3x4 internal square faces + outer face.
+  EXPECT_EQ(faces.count(), 13u);
+}
+
+TEST(Embedding, RotationIsCircular) {
+  const GridGraph gg = graph::grid(3, 3);
+  const PlanarEmbedding pe(gg.graph, gg.positions);
+  for (graph::Vertex v = 0; v < 9; ++v) {
+    const int first = pe.first_half_edge(v);
+    ASSERT_GE(first, 0);
+    int cur = first;
+    std::size_t count = 0;
+    do {
+      EXPECT_EQ(pe.origin(cur), v);
+      cur = pe.rot_next(cur);
+      ++count;
+    } while (cur != first && count <= 10);
+    EXPECT_EQ(count, gg.graph.degree(v));
+  }
+}
+
+TEST(Embedding, TreeHasSingleFace) {
+  // A path drawn on a line: one face, Euler n - (n-1) + 1 = 2.
+  const graph::Graph g = graph::path_graph(6);
+  std::vector<graph::Point> pos(6);
+  for (std::size_t i = 0; i < 6; ++i) pos[i] = {static_cast<double>(i), 0.0};
+  const PlanarEmbedding pe(g, pos);
+  const FaceSet faces(pe);
+  EXPECT_EQ(faces.count(), 1u);
+  EXPECT_EQ(faces.walk_length[0], 10u);  // each edge twice
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+}
+
+TEST(Triangulate, GridBecomesAllSmallFaces) {
+  const GridGraph gg = graph::grid(4, 4);
+  PlanarEmbedding pe(gg.graph, gg.positions);
+  pe.triangulate();
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+  const FaceSet faces(pe);
+  for (std::size_t f = 0; f < faces.count(); ++f)
+    EXPECT_LE(faces.corners[f].size(), 3u);
+}
+
+TEST(Triangulate, ApollonianAlreadyTriangulatedGainsOnlyEulerSafety) {
+  util::Rng rng(3);
+  const GeometricGraph gg = graph::random_apollonian(40, rng);
+  PlanarEmbedding pe(gg.graph, gg.positions);
+  const std::size_t before = pe.num_edges();
+  pe.triangulate();
+  // All interior faces are triangles already; the outer face is one too.
+  EXPECT_EQ(pe.num_edges(), before);
+}
+
+TEST(Triangulate, PathGraphGetsChords) {
+  const graph::Graph g = graph::path_graph(5);
+  std::vector<graph::Point> pos;
+  // Bend the path so angles are informative.
+  for (std::size_t i = 0; i < 5; ++i)
+    pos.push_back({static_cast<double>(i), (i % 2) ? 0.3 : 0.0});
+  PlanarEmbedding pe(g, pos);
+  pe.triangulate();
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+  const FaceSet faces(pe);
+  for (std::size_t f = 0; f < faces.count(); ++f)
+    EXPECT_LE(faces.corners[f].size(), 3u);
+  EXPECT_GT(pe.num_edges(), 4u);
+}
+
+class TriangulateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriangulateSweep, RoadNetworksTriangulateCleanly) {
+  util::Rng rng(GetParam());
+  const GeometricGraph gg = graph::road_network(8, 8, rng);
+  PlanarEmbedding pe(gg.graph, gg.positions);
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+  pe.triangulate();
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+  const FaceSet faces(pe);
+  for (std::size_t f = 0; f < faces.count(); ++f)
+    EXPECT_LE(faces.corners[f].size(), 3u)
+        << "face " << f << " has too many corners";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangulateSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DualTree, BalancedCornersHalveTheGrid) {
+  const GridGraph gg = graph::grid(8, 8);
+  PlanarEmbedding pe(gg.graph, gg.positions);
+  pe.triangulate();
+  const sssp::SpTree tree(gg.graph, 0);
+  std::vector<double> ones(64, 1.0);
+  const std::vector<graph::Vertex> corners =
+      balanced_cycle_corners(pe, tree, ones);
+  ASSERT_FALSE(corners.empty());
+  EXPECT_LE(corners.size(), 3u);
+  // Remove the root paths of the corners; components must be <= n/2.
+  std::vector<bool> removed(64, false);
+  for (graph::Vertex c : corners)
+    for (graph::Vertex v : tree.root_path(c)) removed[v] = true;
+  const graph::Components comps =
+      graph::connected_components(gg.graph, removed);
+  if (comps.count() > 0) EXPECT_LE(comps.largest(), 32u);
+}
+
+TEST(DualTree, SingleVertexGraph) {
+  graph::GraphBuilder b(1);
+  const graph::Graph g = std::move(b).build();
+  const std::vector<graph::Point> pos{{0, 0}};
+  const PlanarEmbedding pe(g, pos);
+  // No edges: handled by the separator layer, corners trivially {0} via the
+  // explicit edgeless branch.
+  const sssp::SpTree tree(g, 0);
+  std::vector<double> ones{1.0};
+  EXPECT_EQ(balanced_cycle_corners(pe, tree, ones),
+            (std::vector<graph::Vertex>{0}));
+}
+
+TEST(Embedding, OuterplanarPolygonFaces) {
+  util::Rng rng(11);
+  const GeometricGraph gg = graph::random_outerplanar(20, rng, 1.0);
+  const PlanarEmbedding pe(gg.graph, gg.positions);
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+  const FaceSet faces(pe);
+  // Maximal outerplanar on n vertices: n-2 triangles + the outer face.
+  EXPECT_EQ(faces.count(), 20u - 2 + 1);
+}
+
+TEST(Embedding, TriangulatedGridFaces) {
+  const GridGraph gg = graph::triangulated_grid(4, 5);
+  const PlanarEmbedding pe(gg.graph, gg.positions);
+  EXPECT_TRUE(pe.satisfies_euler_formula());
+  const FaceSet faces(pe);
+  // Each of the 12 cells splits into 2 triangles, plus the outer face.
+  EXPECT_EQ(faces.count(), 2u * 12 + 1);
+}
+
+TEST(DualTree, WeightsSteerTheCorners) {
+  // Put all weight in one grid corner: the separator corners must land
+  // close enough that the heavy corner's component is <= half the weight.
+  const GridGraph gg = graph::grid(9, 9);
+  PlanarEmbedding pe(gg.graph, gg.positions);
+  pe.triangulate();
+  const sssp::SpTree tree(gg.graph, 0);
+  std::vector<double> weight(81, 0.0);
+  weight[gg.at(8, 8)] = 10.0;
+  weight[gg.at(8, 7)] = 10.0;
+  const std::vector<graph::Vertex> corners =
+      balanced_cycle_corners(pe, tree, weight);
+  std::vector<bool> removed(81, false);
+  for (graph::Vertex c : corners)
+    for (graph::Vertex v : tree.root_path(c)) removed[v] = true;
+  const graph::Components comps = graph::connected_components(gg.graph, removed);
+  double heaviest = 0;
+  for (std::uint32_t id = 0; id < comps.count(); ++id) {
+    double w = 0;
+    for (graph::Vertex v = 0; v < 81; ++v)
+      if (comps.label[v] == id) w += weight[v];
+    heaviest = std::max(heaviest, w);
+  }
+  EXPECT_LE(heaviest, 10.0 + 1e-9);  // the two heavies cannot stay together
+}
+
+TEST(Embedding, PositionSizeMismatchThrows) {
+  const graph::Graph g = graph::path_graph(3);
+  const std::vector<graph::Point> pos{{0, 0}};
+  EXPECT_THROW(PlanarEmbedding(g, pos), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pathsep::embed

@@ -1,0 +1,137 @@
+// Randomized stress: mixed families, mixed sizes (including the tiny
+// degenerate ones), full pipeline with Definition 1 validation at every
+// node, oracle spot-checks against Dijkstra. Complements the per-module
+// suites by exploring parameter corners no hand-written case covers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "hierarchy/decomposition_tree.hpp"
+#include "oracle/path_oracle.hpp"
+#include "separator/finders.hpp"
+#include "separator/validate.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(Fuzz, TinyGraphsThroughEveryApplicableFinder) {
+  // n = 1..6 across families; every finder must produce a valid separator
+  // and the hierarchy must terminate.
+  for (std::size_t n = 1; n <= 6; ++n) {
+    {
+      util::Rng rng(n);
+      const Graph g = graph::random_tree(n, rng);
+      const auto s = separator::TreeCentroidSeparator().find(g);
+      EXPECT_TRUE(separator::validate(g, s).ok) << "tree n=" << n;
+      hierarchy::DecompositionTree tree(g,
+                                        separator::TreeCentroidSeparator());
+      EXPECT_GE(tree.nodes().size(), 1u);
+    }
+    if (n >= 1) {
+      const graph::GridGraph gg = graph::grid(1, n);
+      const auto s = separator::GridLineSeparator(1, n).find(gg.graph);
+      EXPECT_TRUE(separator::validate(gg.graph, s).ok) << "grid 1x" << n;
+    }
+    if (n >= 3) {
+      util::Rng rng(n);
+      const auto gg = graph::random_apollonian(n, rng);
+      separator::PlanarCycleSeparator finder(gg.positions);
+      const auto s = finder.find(gg.graph);
+      EXPECT_TRUE(separator::validate(gg.graph, s).ok) << "apollonian n=" << n;
+    }
+    if (n >= 2) {
+      util::Rng rng(n);
+      const Graph g = graph::random_series_parallel(n, rng);
+      const auto s = separator::TreewidthBagSeparator().find(g);
+      EXPECT_TRUE(separator::validate(g, s).ok) << "sp n=" << n;
+    }
+  }
+}
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, RandomFamilyRandomSizeFullStack) {
+  util::Rng rng(GetParam() * 7919 + 13);
+  const std::size_t pick = rng.next_below(6);
+  const std::size_t n = 20 + rng.next_below(300);
+  Graph g;
+  std::unique_ptr<separator::SeparatorFinder> finder;
+  switch (pick) {
+    case 0:
+      g = graph::random_tree(n, rng, graph::WeightSpec::uniform_real(0.5, 7));
+      finder = std::make_unique<separator::TreeCentroidSeparator>();
+      break;
+    case 1: {
+      auto gg = graph::random_apollonian(std::max<std::size_t>(n, 3), rng,
+                                         graph::WeightSpec::euclidean());
+      g = std::move(gg.graph);
+      finder = std::make_unique<separator::PlanarCycleSeparator>(gg.positions);
+      break;
+    }
+    case 2: {
+      const std::size_t k = 1 + rng.next_below(4);
+      g = graph::random_ktree(std::max(n, k + 2), k, rng,
+                              graph::WeightSpec::uniform_real(1, 3));
+      finder = std::make_unique<separator::TreewidthBagSeparator>();
+      break;
+    }
+    case 3: {
+      auto gg = graph::random_outerplanar(std::max<std::size_t>(n, 3), rng,
+                                          rng.next_double());
+      g = std::move(gg.graph);
+      finder = std::make_unique<separator::PlanarCycleSeparator>(gg.positions);
+      break;
+    }
+    case 4: {
+      const std::size_t side = 3 + rng.next_below(14);
+      auto gg = graph::road_network(side, side, rng);
+      g = std::move(gg.graph);
+      finder = std::make_unique<separator::PlanarCycleSeparator>(gg.positions);
+      break;
+    }
+    default:
+      g = graph::gnm_random(n, n + rng.next_below(3 * n), rng, true,
+                            graph::WeightSpec::uniform_real(0.2, 5));
+      finder = std::make_unique<separator::GreedyPathSeparator>(GetParam());
+      break;
+  }
+
+  hierarchy::DecompositionTree::Options options;
+  options.validate_separators = true;
+  const hierarchy::DecompositionTree tree(g, *finder, options);
+  EXPECT_LE(tree.height(),
+            static_cast<std::uint32_t>(std::log2(
+                static_cast<double>(g.num_vertices()))) + 2);
+
+  const double eps = 0.2 + rng.next_double() * 0.8;
+  const oracle::PathOracle oracle(tree, eps);
+  for (int i = 0; i < 25; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    const auto v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    const graph::Weight est = oracle.query(u, v);
+    const graph::Weight truth = sssp::distance(g, u, v);
+    if (u == v) {
+      EXPECT_EQ(est, 0.0);
+      continue;
+    }
+    EXPECT_GE(est, truth - 1e-9) << "family " << pick << " seed " << GetParam();
+    EXPECT_LE(est, (1 + eps) * truth + 1e-9)
+        << "family " << pick << " n " << g.num_vertices() << " eps " << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace pathsep

@@ -1,0 +1,153 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/io.hpp"
+
+namespace pathsep::graph {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(0, 2, 4.0);
+  return std::move(b).build();
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, VertexAndEdgeCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Graph, NeighborsAreSortedByTarget) {
+  GraphBuilder b(4);
+  b.add_edge(0, 3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const Graph g = std::move(b).build();
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].to, 1u);
+  EXPECT_EQ(nbrs[1].to, 2u);
+  EXPECT_EQ(nbrs[2].to, 3u);
+}
+
+TEST(Graph, EdgeWeightLookup) {
+  const Graph g = triangle();
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.0);
+  EXPECT_EQ(g.edge_weight(0, 0), kInfiniteWeight);
+}
+
+TEST(Graph, HasEdge) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 2));
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph h = std::move(b).build();
+  EXPECT_FALSE(h.has_edge(0, 2));
+}
+
+TEST(Graph, DegreesMatch) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Graph, TotalAndExtremeWeights) {
+  const Graph g = triangle();
+  EXPECT_DOUBLE_EQ(g.total_weight(), 7.0);
+  EXPECT_DOUBLE_EQ(g.min_edge_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max_edge_weight(), 4.0);
+}
+
+TEST(Graph, DuplicateEdgesMergeToMinimum) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 5.0);
+  b.add_edge(1, 0, 2.0);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.0);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveWeight) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, SizeInWordsAccounting) {
+  const Graph g = triangle();
+  // offsets (n+1 = 4) + 2 words per directed arc (6 arcs).
+  EXPECT_EQ(g.size_in_words(), 4u + 12u);
+}
+
+TEST(Graph, EqualityIsStructural) {
+  EXPECT_TRUE(triangle() == triangle());
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(0, 2, 4.5);
+  EXPECT_FALSE(triangle() == std::move(b).build());
+}
+
+TEST(Graph, DebugStringMentionsCounts) {
+  const std::string s = triangle().debug_string();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=3"), std::string::npos);
+}
+
+TEST(GraphIo, RoundTripPreservesGraph) {
+  const Graph g = triangle();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_TRUE(g == h);
+}
+
+TEST(GraphIo, CommentsAndErrors) {
+  std::stringstream ok("# comment\np 2 1\ne 0 1 2.5\n");
+  const Graph g = read_edge_list(ok);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.5);
+
+  std::stringstream no_header("e 0 1 1\n");
+  EXPECT_THROW(read_edge_list(no_header), std::runtime_error);
+  std::stringstream bad_count("p 2 2\ne 0 1 1\n");
+  EXPECT_THROW(read_edge_list(bad_count), std::runtime_error);
+  std::stringstream bad_tag("p 1 0\nq\n");
+  EXPECT_THROW(read_edge_list(bad_tag), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = triangle();
+  const std::string path = ::testing::TempDir() + "/pathsep_io_test.graph";
+  save_edge_list(path, g);
+  EXPECT_TRUE(g == load_edge_list(path));
+  EXPECT_THROW(load_edge_list(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pathsep::graph

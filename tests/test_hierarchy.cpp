@@ -1,0 +1,149 @@
+#include "hierarchy/decomposition_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace pathsep::hierarchy {
+namespace {
+
+DecompositionTree::Options validating() {
+  DecompositionTree::Options o;
+  o.validate_separators = true;
+  return o;
+}
+
+TEST(Hierarchy, SingleVertex) {
+  graph::GraphBuilder b(1);
+  const Graph g = std::move(b).build();
+  const DecompositionTree tree(g, separator::TreeCentroidSeparator(),
+                               validating());
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.chain(0).size(), 1u);
+}
+
+TEST(Hierarchy, PathGraphDepthIsLogarithmic) {
+  const Graph g = graph::path_graph(128);
+  const DecompositionTree tree(g, separator::TreeCentroidSeparator(),
+                               validating());
+  EXPECT_LE(tree.height(), 8u);  // log2(128) + 1
+  EXPECT_EQ(tree.max_separator_paths(), 1u);
+}
+
+TEST(Hierarchy, EveryVertexEndsOnExactlyOneSeparator) {
+  util::Rng rng(1);
+  const Graph g = graph::random_tree(200, rng);
+  const DecompositionTree tree(g, separator::TreeCentroidSeparator());
+  std::vector<int> removed_at(200, 0);
+  for (const auto& node : tree.nodes())
+    for (const auto& path : node.paths)
+      for (Vertex v : path.verts) ++removed_at[node.root_ids[v]];
+  for (Vertex v = 0; v < 200; ++v) EXPECT_EQ(removed_at[v], 1) << "vertex " << v;
+}
+
+TEST(Hierarchy, ChainsAreRootFirstAndNested) {
+  const graph::GridGraph gg = graph::grid(8, 8);
+  const DecompositionTree tree(gg.graph, separator::GridLineSeparator(8, 8),
+                               validating());
+  for (Vertex v = 0; v < 64; ++v) {
+    const auto& chain = tree.chain(v);
+    ASSERT_FALSE(chain.empty());
+    EXPECT_EQ(chain[0].first, 0);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      const auto& node = tree.node(chain[i].first);
+      EXPECT_EQ(node.parent, chain[i - 1].first);
+      EXPECT_EQ(node.depth, i);
+    }
+    // The chain ends where v joins a separator path.
+    const auto& last = tree.node(chain.back().first);
+    bool on_separator = false;
+    for (const auto& path : last.paths)
+      for (Vertex u : path.verts)
+        if (u == chain.back().second) on_separator = true;
+    EXPECT_TRUE(on_separator);
+  }
+}
+
+TEST(Hierarchy, CommonChainLength) {
+  const Graph g = graph::path_graph(15);
+  const DecompositionTree tree(g, separator::TreeCentroidSeparator());
+  // 0 and 14 separate at the root (centroid 7).
+  EXPECT_EQ(tree.common_chain_length(0, 14), 1u);
+  EXPECT_GE(tree.common_chain_length(0, 1), 1u);
+  EXPECT_EQ(tree.common_chain_length(3, 3), tree.chain(3).size());
+}
+
+TEST(Hierarchy, LocalIdsMapBackToRootIds) {
+  util::Rng rng(3);
+  const auto gg = graph::random_apollonian(150, rng);
+  const DecompositionTree tree(gg.graph,
+                               separator::PlanarCycleSeparator(gg.positions));
+  for (Vertex v = 0; v < 150; ++v)
+    for (const auto& [node_id, local] : tree.chain(v))
+      EXPECT_EQ(tree.node(node_id).root_ids[local], v);
+}
+
+TEST(Hierarchy, ComponentsShrinkGeometrically) {
+  util::Rng rng(5);
+  const auto gg = graph::random_apollonian(300, rng);
+  const DecompositionTree tree(gg.graph,
+                               separator::PlanarCycleSeparator(gg.positions),
+                               validating());
+  for (const auto& node : tree.nodes()) {
+    if (node.parent < 0) continue;
+    EXPECT_LE(node.graph.num_vertices(),
+              tree.node(node.parent).graph.num_vertices() / 2);
+  }
+  EXPECT_LE(tree.height(),
+            static_cast<std::uint32_t>(std::log2(300) + 2));
+}
+
+TEST(Hierarchy, PrefixSumsMatchEdgeWeights) {
+  util::Rng rng(7);
+  const auto gg = graph::random_apollonian(120, rng);
+  const DecompositionTree tree(gg.graph,
+                               separator::PlanarCycleSeparator(gg.positions));
+  for (const auto& node : tree.nodes())
+    for (const auto& path : node.paths) {
+      ASSERT_EQ(path.prefix.size(), path.verts.size());
+      EXPECT_DOUBLE_EQ(path.prefix[0], 0.0);
+      for (std::size_t i = 1; i < path.verts.size(); ++i)
+        EXPECT_NEAR(path.prefix[i] - path.prefix[i - 1],
+                    node.graph.edge_weight(path.verts[i - 1], path.verts[i]),
+                    1e-12);
+    }
+}
+
+TEST(Hierarchy, RejectsDisconnectedAndEmpty) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_THROW(DecompositionTree(g, separator::TreeCentroidSeparator()),
+               std::invalid_argument);
+  EXPECT_THROW(DecompositionTree(graph::GraphBuilder(0).build(),
+                                 separator::TreeCentroidSeparator()),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, MaxAndTotalPathCounts) {
+  const graph::GridGraph gg = graph::grid(16, 16);
+  const DecompositionTree tree(gg.graph, separator::GridLineSeparator(16, 16));
+  EXPECT_EQ(tree.max_separator_paths(), 1u);
+  EXPECT_EQ(tree.total_paths(), tree.nodes().size());
+}
+
+TEST(Hierarchy, KTreeHierarchyBoundsPathsByWidthPlusOne) {
+  util::Rng rng(11);
+  const Graph g = graph::random_ktree(180, 3, rng);
+  const DecompositionTree tree(g, separator::TreewidthBagSeparator(),
+                               validating());
+  EXPECT_LE(tree.max_separator_paths(), 4u + 2);  // heuristic slack on subgraphs
+}
+
+}  // namespace
+}  // namespace pathsep::hierarchy

@@ -1,0 +1,204 @@
+// Computational verification of the §5 lower-bound arguments — the counting
+// facts the theorems rest on, checked on concrete instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+#include "separator/validate.hpp"
+#include "sssp/bfs.hpp"
+#include "util/rng.hpp"
+
+namespace pathsep {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+// ---- Theorem 6.3: mesh + apex ----------------------------------------------
+
+TEST(MeshApex, DiameterIsTwo) {
+  const Graph g = graph::mesh_with_apex(8);
+  const sssp::BfsResult bf = sssp::bfs(g, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_LE(bf.hops[v], 2u);
+}
+
+TEST(MeshApex, EveryShortestPathHasAtMostThreeVertices) {
+  // Diameter 2 => any shortest path has <= 2 edges; a union of k shortest
+  // paths therefore covers <= 3k vertices — the heart of the Thm 6.3 count.
+  const Graph g = graph::mesh_with_apex(6);
+  const separator::GreedyPathSeparator finder(3);
+  const separator::PathSeparator s = finder.find(g);
+  for (const auto& stage : s.stages)
+    for (const auto& path : stage) EXPECT_LE(path.size(), 3u);
+}
+
+TEST(MeshApex, FewMeshVerticesCannotHalveTheMesh) {
+  // The counting argument: removing any c < t vertices from the t x t mesh
+  // leaves a component larger than n/2. Exhaustive checking is exponential;
+  // we stress both random subsets and the adversarial diagonal pattern the
+  // paper's proof itself analyses.
+  const std::size_t t = 8;
+  const graph::GridGraph mesh = graph::grid(t, t);
+  const std::size_t n_apex = t * t + 1;  // the mesh+apex vertex count
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t c = 1 + rng.next_below(t - 1);  // c < t
+    std::vector<bool> removed(t * t, false);
+    for (std::size_t pick : rng.sample_without_replacement(t * t, c))
+      removed[pick] = true;
+    const graph::Components comps =
+        graph::connected_components(mesh.graph, removed);
+    EXPECT_GT(comps.largest(), n_apex / 2)
+        << "a subset of " << c << " vertices halved the mesh";
+  }
+  // Adversarial diagonal from the proof of Thm 6.3.
+  std::vector<bool> diagonal(t * t, false);
+  for (std::size_t i = 0; i + 1 < t; ++i) diagonal[i * t + i] = true;
+  const graph::Components comps =
+      graph::connected_components(mesh.graph, diagonal);
+  EXPECT_GT(comps.largest(), n_apex / 2);
+}
+
+TEST(MeshApex, StagedSeparatorAchievesKTwo) {
+  // Theorem 1's sequence-of-stages definition sidesteps the strong lower
+  // bound: remove the apex (stage 0), then one mesh row (stage 1).
+  for (std::size_t t : {4u, 8u, 16u}) {
+    const Graph g = graph::mesh_with_apex(t);
+    separator::PathSeparator staged;
+    staged.stages.push_back({{static_cast<Vertex>(t * t)}});
+    separator::PathSeparator::Path row;
+    for (std::size_t c = 0; c < t; ++c)
+      row.push_back(static_cast<Vertex>((t / 2) * t + c));
+    staged.stages.push_back({row});
+    const auto report = separator::validate(g, staged);
+    EXPECT_TRUE(report.ok) << "t=" << t << ": " << report.error;
+    EXPECT_EQ(report.path_count, 2u);
+  }
+}
+
+TEST(MeshApex, SingleStageRowIsNotAShortestPathThroughTheApex) {
+  // Why the STRONG separator fails: with the apex present, a mesh row of
+  // length >= 3 is no longer a shortest path (the apex shortcuts it), so
+  // the P1 check rejects the row as a stage-0 path.
+  const std::size_t t = 6;
+  const Graph g = graph::mesh_with_apex(t);
+  separator::PathSeparator strong;
+  separator::PathSeparator::Path row;
+  for (std::size_t c = 0; c < t; ++c)
+    row.push_back(static_cast<Vertex>((t / 2) * t + c));
+  strong.stages.push_back({row});
+  const auto report = separator::validate(g, strong);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("shortest"), std::string::npos);
+}
+
+// ---- Theorem 7: K_{r, n-r} --------------------------------------------------
+
+TEST(CompleteBipartiteLb, ShortestPathsTouchAtMostTwoPerSide) {
+  // Every shortest path in K_{r, n-r} alternates sides and has <= 3 vertices
+  // (diameter 2), so it includes at most 2 vertices of each side.
+  const Graph g = graph::complete_bipartite(4, 20);
+  const separator::GreedyPathSeparator finder(1);
+  const separator::PathSeparator s = finder.find(g);
+  for (const auto& stage : s.stages)
+    for (const auto& path : stage) {
+      std::size_t left = 0, right = 0;
+      for (Vertex v : path) (v < 4 ? left : right) += 1;
+      EXPECT_LE(left, 2u);
+      EXPECT_LE(right, 2u);
+    }
+}
+
+TEST(CompleteBipartiteLb, RemovingFewerThanRMinusOneVerticesNeverDisconnects) {
+  // K_{r, n-r} is r-connected (for n - r >= r): fewer than r removed
+  // vertices leave it connected, hence with one component of size ~n.
+  const std::size_t r = 5, n = 60;
+  const Graph g = graph::complete_bipartite(r, n - r);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t c = rng.next_below(r);  // c <= r - 1
+    std::vector<bool> removed(n, false);
+    for (std::size_t pick : rng.sample_without_replacement(n, c))
+      removed[pick] = true;
+    const graph::Components comps = graph::connected_components(g, removed);
+    EXPECT_EQ(comps.count(), 1u);
+    EXPECT_GT(comps.largest(), n / 2);
+  }
+}
+
+TEST(CompleteBipartiteLb, BagSeparatorMatchesTheoremSevenUpperBound) {
+  // Theorem 7 upper bound: treewidth r => strongly (r+1)-path separable.
+  for (std::size_t r : {2u, 3u, 6u}) {
+    const Graph g = graph::complete_bipartite(r, 12 * r);
+    const separator::PathSeparator s =
+        separator::TreewidthBagSeparator().find(g);
+    EXPECT_TRUE(s.strong());
+    const auto report = separator::validate(g, s);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_LE(report.path_count, r + 1);
+    EXPECT_GE(report.path_count, (r + 1) / 2);  // >= r/2 (Thm 7 lower bound)
+  }
+}
+
+// ---- Theorem 5: expanders ---------------------------------------------------
+
+TEST(ExpanderLb, GreedySeparatorGrowsPolynomially) {
+  std::vector<std::size_t> ks;
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    util::Rng rng(9 + n);
+    const Graph g = graph::random_expander(n, 8, rng);
+    const separator::PathSeparator s =
+        separator::GreedyPathSeparator(3).find(g);
+    const auto report = separator::validate(g, s);
+    ASSERT_TRUE(report.ok) << report.error;
+    ks.push_back(report.path_count);
+  }
+  // Quadrupling n should at least double the required path count — far from
+  // the O(1) of minor-free families.
+  EXPECT_GE(ks[1], 2 * ks[0]);
+  EXPECT_GE(ks[2], 2 * ks[1]);
+}
+
+TEST(ExpanderLb, ShortDiameterMakesPathsSmall) {
+  // The Thm 5 intuition: expander shortest paths are short (O(log n)
+  // vertices), so each removed path deletes few vertices and many are
+  // needed.
+  util::Rng rng(11);
+  const Graph g = graph::random_expander(512, 8, rng);
+  const separator::PathSeparator s = separator::GreedyPathSeparator(5).find(g);
+  for (const auto& stage : s.stages)
+    for (const auto& path : stage) EXPECT_LE(path.size(), 12u);
+}
+
+// ---- §5.2: weighted K_{n/2,n/2} is 1-path separable --------------------------
+
+TEST(WeightedBipartite, PathPlusHeavyCrossEdgesIsOnePathSeparable) {
+  // The §5.2 observation: a weight-1 path of n/2 vertices joined to n/2
+  // stable vertices by weight-(n/2) edges contains K_{n/2,n/2} as a minor,
+  // yet the path itself is one minimum-cost path whose removal isolates
+  // every stable vertex.
+  const std::size_t half = 12;
+  graph::GraphBuilder b(2 * half);
+  for (std::size_t i = 0; i + 1 < half; ++i)
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(i + 1), 1.0);
+  for (std::size_t i = 0; i < half; ++i)
+    for (std::size_t j = 0; j < half; ++j)
+      b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(half + j),
+                 static_cast<double>(half));
+  const Graph g = std::move(b).build();
+
+  separator::PathSeparator s;
+  separator::PathSeparator::Path path;
+  for (std::size_t i = 0; i < half; ++i) path.push_back(static_cast<Vertex>(i));
+  s.stages.push_back({path});
+  const auto report = separator::validate(g, s);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.path_count, 1u);
+  EXPECT_EQ(report.largest_component, 1u);  // stable vertices fall apart
+}
+
+}  // namespace
+}  // namespace pathsep

@@ -1,0 +1,318 @@
+#include "minorfree/apex_separator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include <cmath>
+
+#include "hierarchy/decomposition_tree.hpp"
+#include "minorfree/vortex_path.hpp"
+#include "oracle/path_oracle.hpp"
+#include "separator/validate.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::minorfree {
+namespace {
+
+AlmostEmbedding instance(std::size_t rows, std::size_t cols,
+                         std::size_t width, std::size_t apices,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  return random_almost_embeddable(rows, cols, width, apices, 4, rng);
+}
+
+TEST(AlmostEmbeddable, GeneratorProducesValidStructures) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const AlmostEmbedding ae = instance(8, 10, 2, 2, seed);
+    std::string err;
+    EXPECT_TRUE(ae.validate(&err)) << err;
+    EXPECT_TRUE(graph::is_connected(ae.graph));
+    EXPECT_EQ(ae.apices.size(), 2u);
+    EXPECT_EQ(ae.vortices.size(), 1u);
+    EXPECT_LE(ae.vortices[0].width(), 2u);
+    EXPECT_GE(ae.h(), 2u);
+  }
+}
+
+TEST(AlmostEmbeddable, PerimeterIsTheGridBoundary) {
+  const AlmostEmbedding ae = instance(5, 6, 1, 0, 1);
+  const Vortex& vortex = ae.vortices[0];
+  EXPECT_EQ(vortex.length(), 2u * (5 + 6) - 4);
+  // Consecutive perimeter vertices are adjacent in the grid.
+  for (std::size_t i = 0; i < vortex.length(); ++i)
+    EXPECT_TRUE(ae.graph.has_edge(
+        vortex.perimeter[i], vortex.perimeter[(i + 1) % vortex.length()]));
+}
+
+TEST(VortexType, ValidatorCatchesBrokenStructures) {
+  const AlmostEmbedding ae = instance(5, 5, 1, 0, 2);
+  std::string err;
+
+  Vortex broken = ae.vortices[0];
+  broken.perimeter[0] = broken.perimeter[1];  // duplicate + not in bag 0
+  EXPECT_FALSE(broken.validate(ae.graph, ae.embedded, &err));
+  EXPECT_FALSE(err.empty());
+
+  Vortex missing = ae.vortices[0];
+  // Remove the perimeter vertex from its own bag.
+  auto& bag = missing.bags[3];
+  bag.erase(std::find(bag.begin(), bag.end(), missing.perimeter[3]));
+  EXPECT_FALSE(missing.validate(ae.graph, ae.embedded, &err));
+  EXPECT_NE(err.find("missing from its bag"), std::string::npos);
+
+  Vortex gap = ae.vortices[0];
+  // Tear a vertex's bag interval apart.
+  Vertex interior = graph::kInvalidVertex;
+  for (Vertex v : gap.vertices())
+    if (!ae.embedded[v]) interior = v;
+  ASSERT_NE(interior, graph::kInvalidVertex);
+  const auto where = gap.bags_of(interior);
+  if (where.size() >= 3) {
+    auto& mid = gap.bags[where[1]];
+    mid.erase(std::find(mid.begin(), mid.end(), interior));
+    EXPECT_FALSE(gap.validate(ae.graph, ae.embedded, &err));
+  }
+}
+
+TEST(AlmostEmbeddable, ValidatorCatchesRoleConflicts) {
+  AlmostEmbedding ae = instance(5, 5, 1, 1, 3);
+  std::string err;
+  ASSERT_TRUE(ae.validate(&err)) << err;
+  ae.apices.push_back(0);  // vertex 0 is embedded AND apex now
+  EXPECT_FALSE(ae.validate(&err));
+  EXPECT_NE(err.find("conflicting"), std::string::npos);
+}
+
+// ---- vortex paths (Definition 2) --------------------------------------------
+
+TEST(VortexPathTest, InteriorPathHasOneSegment) {
+  const AlmostEmbedding ae = instance(7, 7, 1, 0, 4);
+  // A path across the grid interior avoids the boundary perimeter.
+  std::vector<Vertex> path;
+  for (std::size_t c = 1; c < 6; ++c) path.push_back(static_cast<Vertex>(3 * 7 + c));
+  const VortexPath vp = vortex_path_of(ae, path);
+  EXPECT_EQ(vp.segments.size(), 1u);
+  EXPECT_TRUE(vp.crossings.empty());
+  std::string err;
+  EXPECT_TRUE(vp.validate(ae, &err)) << err;
+  EXPECT_EQ(vp.projection(), path);
+}
+
+TEST(VortexPathTest, PathThroughVortexProducesACrossing) {
+  const AlmostEmbedding ae = instance(6, 6, 1, 0, 5);
+  const Vortex& vortex = ae.vortices[0];
+  // Find a vortex-interior vertex and build the path u_a -> interior -> u_b
+  // (entering the vortex and leaving it elsewhere) padded by embedded ends.
+  Vertex interior = graph::kInvalidVertex;
+  for (Vertex v : vortex.vertices())
+    if (!ae.embedded[v]) {
+      interior = v;
+      break;
+    }
+  ASSERT_NE(interior, graph::kInvalidVertex);
+  std::vector<Vertex> nbrs;
+  for (const graph::Arc& a : ae.graph.neighbors(interior))
+    nbrs.push_back(a.to);
+  ASSERT_GE(nbrs.size(), 2u);
+  const std::vector<Vertex> path{nbrs.front(), interior, nbrs.back()};
+  const VortexPath vp = vortex_path_of(ae, path);
+  ASSERT_EQ(vp.crossings.size(), 1u);
+  EXPECT_EQ(vp.segments.size(), 2u);
+  std::string err;
+  EXPECT_TRUE(vp.validate(ae, &err)) << err;
+  // The crossing bags absorb the interior vertex.
+  const auto vertices = vp.vertices(ae);
+  EXPECT_TRUE(std::binary_search(vertices.begin(), vertices.end(), interior));
+  // The projection skips the interior vertex.
+  for (Vertex v : vp.projection()) EXPECT_NE(v, interior);
+}
+
+TEST(VortexPathTest, WalkAlongThePerimeterCollapsesIntoOneCrossing) {
+  const AlmostEmbedding ae = instance(6, 6, 1, 0, 6);
+  // A walk along the top boundary hits perimeter vertices of the same
+  // vortex repeatedly; the paper's construction absorbs the whole run into
+  // a single crossing from the first to the LAST perimeter vertex.
+  std::vector<Vertex> path{0, 1, 2, 3};
+  const VortexPath vp = vortex_path_of(ae, path);
+  ASSERT_EQ(vp.crossings.size(), 1u);
+  ASSERT_EQ(vp.segments.size(), 2u);
+  EXPECT_EQ(vp.segments[0], (std::vector<Vertex>{0}));
+  EXPECT_EQ(vp.segments[1], (std::vector<Vertex>{3}));
+  EXPECT_EQ(vp.crossings[0].entry_bag, 0u);
+  EXPECT_EQ(vp.crossings[0].exit_bag, 3u);
+  std::string err;
+  EXPECT_TRUE(vp.validate(ae, &err)) << err;
+}
+
+TEST(VortexPathTest, RejectsBadInputs) {
+  const AlmostEmbedding ae = instance(6, 6, 1, 1, 7);
+  EXPECT_THROW(vortex_path_of(ae, {}), std::invalid_argument);
+  // Extremity is an apex (not embedded).
+  const std::vector<Vertex> bad{ae.apices[0], 0};
+  EXPECT_THROW(vortex_path_of(ae, bad), std::invalid_argument);
+}
+
+TEST(VortexPathTest, ShortestPathsAcrossTheGraphAreValidVortexPaths) {
+  const AlmostEmbedding ae = instance(8, 8, 2, 0, 8);
+  const sssp::ShortestPaths sp = sssp::dijkstra(ae.graph, 9);  // interior-ish
+  for (Vertex target : {18u, 36u, 54u}) {
+    const std::vector<Vertex> path = sssp::extract_path(sp, target);
+    const VortexPath vp = vortex_path_of(ae, path);
+    std::string err;
+    EXPECT_TRUE(vp.validate(ae, &err)) << err;
+  }
+}
+
+// ---- the staged separator (Steps 1-3) ---------------------------------------
+
+class ApexSeparatorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApexSeparatorSweep, SatisfiesDefinitionOne) {
+  const AlmostEmbedding ae = instance(10, 10, 2, 2, GetParam());
+  std::string err;
+  ASSERT_TRUE(ae.validate(&err)) << err;
+  const separator::PathSeparator s = almost_embeddable_separator(ae);
+  EXPECT_EQ(s.stages.size(), 2u);  // apices, then planar + bags
+  const separator::ValidationReport report =
+      separator::validate(ae.graph, s);
+  EXPECT_TRUE(report.ok) << report.error;
+  // k is bounded by apices + 3 paths + touched bags * width.
+  EXPECT_LE(report.path_count,
+            2u + 3u + ae.vortices[0].length() * (ae.vortices[0].width() + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApexSeparatorSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ApexSeparator, NoApicesGivesAStrongSeparator) {
+  const AlmostEmbedding ae = instance(9, 9, 1, 0, 11);
+  const separator::PathSeparator s = almost_embeddable_separator(ae);
+  EXPECT_TRUE(s.strong());
+  const auto report = separator::validate(ae.graph, s);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+// ---- two vortices (grid with a hole) -----------------------------------------
+
+TEST(TwoVortex, GeneratorValidates) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    util::Rng rng(seed);
+    const AlmostEmbedding ae =
+        random_two_vortex_instance(12, 12, 2, 1, 4, rng);
+    std::string err;
+    EXPECT_TRUE(ae.validate(&err)) << err;
+    EXPECT_EQ(ae.vortices.size(), 2u);
+    EXPECT_TRUE(graph::is_connected(ae.graph));
+  }
+  util::Rng rng(9);
+  EXPECT_THROW(random_two_vortex_instance(6, 6, 1, 0, 4, rng),
+               std::invalid_argument);
+}
+
+TEST(TwoVortex, StagedSeparatorStillSatisfiesDefinitionOne) {
+  for (std::uint64_t seed : {4u, 5u}) {
+    util::Rng rng(seed);
+    const AlmostEmbedding ae =
+        random_two_vortex_instance(12, 12, 2, 2, 4, rng);
+    const separator::PathSeparator s = almost_embeddable_separator(ae);
+    const auto report = separator::validate(ae.graph, s);
+    EXPECT_TRUE(report.ok) << report.error;
+  }
+}
+
+TEST(TwoVortex, CrossingPathVisitsPairwiseDistinctVortices) {
+  util::Rng rng(6);
+  const AlmostEmbedding ae = random_two_vortex_instance(12, 12, 1, 0, 4, rng);
+  // Shortest paths between embedded vertices may cross either vortex; the
+  // Definition 2 walk must never revisit one.
+  util::Rng pick(7);
+  const std::size_t n = ae.graph.num_vertices();
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto s = static_cast<Vertex>(pick.next_below(n));
+    const auto t = static_cast<Vertex>(pick.next_below(n));
+    if (!ae.embedded[s] || !ae.embedded[t] || s == t) continue;
+    const sssp::ShortestPaths sp = sssp::dijkstra(ae.graph, s);
+    const minorfree::VortexPath vp =
+        vortex_path_of(ae, sssp::extract_path(sp, t));
+    std::string err;
+    EXPECT_TRUE(vp.validate(ae, &err)) << err;
+    EXPECT_LE(vp.crossings.size(), 2u);
+  }
+}
+
+TEST(TwoVortex, FullHierarchyAndOracle) {
+  util::Rng rng(8);
+  const AlmostEmbedding ae = random_two_vortex_instance(12, 12, 2, 1, 4, rng);
+  const AlmostEmbeddableSeparator finder(ae);
+  hierarchy::DecompositionTree::Options options;
+  options.validate_separators = true;
+  const hierarchy::DecompositionTree tree(ae.graph, finder, options);
+  const oracle::PathOracle oracle(tree, 0.25);
+  const std::size_t n = ae.graph.num_vertices();
+  for (Vertex u = 0; u < n; u += 11)
+    for (Vertex v = 3; v < n; v += 13) {
+      if (u == v) continue;
+      const graph::Weight est = oracle.query(u, v);
+      const graph::Weight truth = sssp::distance(ae.graph, u, v);
+      EXPECT_GE(est, truth - 1e-9);
+      EXPECT_LE(est, 1.25 * truth + 1e-9) << u << "->" << v;
+    }
+}
+
+// ---- the full object-location stack on almost-embeddable inputs -------------
+
+TEST(ApexHierarchy, RecursiveDecompositionValidatesEverywhere) {
+  const AlmostEmbedding ae = instance(10, 10, 2, 2, 21);
+  const AlmostEmbeddableSeparator finder(ae);
+  hierarchy::DecompositionTree::Options options;
+  options.validate_separators = true;
+  const hierarchy::DecompositionTree tree(ae.graph, finder, options);
+  EXPECT_LE(tree.height(),
+            static_cast<std::uint32_t>(
+                std::log2(double(ae.graph.num_vertices()))) + 2);
+  // k stays bounded by a function of h at every level, never by n.
+  EXPECT_LE(tree.max_separator_paths(),
+            3 + ae.vortices[0].length() * (ae.vortices[0].width() + 1));
+}
+
+TEST(ApexHierarchy, RestrictionPreservesVortexAxioms) {
+  const AlmostEmbedding ae = instance(9, 9, 2, 1, 23);
+  const AlmostEmbeddableSeparator finder(ae);
+  const hierarchy::DecompositionTree tree(ae.graph, finder);
+  for (const auto& node : tree.nodes()) {
+    if (node.graph.num_vertices() == 0) continue;
+    const AlmostEmbedding local =
+        restrict_almost_embedding(ae, node.graph, node.root_ids);
+    std::string err;
+    EXPECT_TRUE(local.validate(&err))
+        << "node with " << node.graph.num_vertices() << " vertices: " << err;
+  }
+}
+
+TEST(ApexHierarchy, OracleStretchHoldsBeyondPlanar) {
+  const AlmostEmbedding ae = instance(8, 8, 2, 2, 25);
+  const AlmostEmbeddableSeparator finder(ae);
+  const hierarchy::DecompositionTree tree(ae.graph, finder);
+  const double epsilon = 0.25;
+  const oracle::PathOracle oracle(tree, epsilon);
+  const std::size_t n = ae.graph.num_vertices();
+  for (Vertex u = 0; u < n; u += 5)
+    for (Vertex v = 2; v < n; v += 7) {
+      const graph::Weight est = oracle.query(u, v);
+      const graph::Weight truth = sssp::distance(ae.graph, u, v);
+      if (u == v) continue;
+      EXPECT_GE(est, truth - 1e-9) << u << "->" << v;
+      EXPECT_LE(est, (1 + epsilon) * truth + 1e-9) << u << "->" << v;
+    }
+}
+
+TEST(ApexSeparator, WiderVortexStillBalances) {
+  const AlmostEmbedding ae = instance(12, 8, 4, 1, 13);
+  const separator::PathSeparator s = almost_embeddable_separator(ae);
+  const auto report = separator::validate(ae.graph, s);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_LE(report.largest_component, ae.graph.num_vertices() / 2);
+}
+
+}  // namespace
+}  // namespace pathsep::minorfree

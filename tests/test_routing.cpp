@@ -1,0 +1,130 @@
+#include "routing/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace pathsep::routing {
+namespace {
+
+TEST(Routing, SelfRouteIsTrivial) {
+  const graph::Graph g = graph::path_graph(8);
+  const hierarchy::DecompositionTree tree(g,
+                                          separator::TreeCentroidSeparator());
+  const RoutingScheme scheme(tree, 0.5);
+  const RouteResult r = scheme.route(3, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 0u);
+  EXPECT_EQ(r.cost, 0.0);
+  EXPECT_EQ(r.route, (std::vector<Vertex>{3}));
+}
+
+TEST(Routing, RoutesAreValidWalksWithMatchingCost) {
+  util::Rng rng(1);
+  const auto gg = graph::random_apollonian(80, rng);
+  const hierarchy::DecompositionTree tree(
+      gg.graph, separator::PlanarCycleSeparator(gg.positions));
+  const RoutingScheme scheme(tree, 0.4);
+  for (Vertex u = 0; u < 80; u += 9)
+    for (Vertex v = 1; v < 80; v += 13) {
+      const RouteResult r = scheme.route(u, v);
+      ASSERT_TRUE(r.delivered);
+      EXPECT_EQ(r.route.front(), u);
+      EXPECT_EQ(r.route.back(), v);
+      EXPECT_TRUE(route_is_consistent(gg.graph, r));
+    }
+}
+
+TEST(Routing, StretchBoundedByOnePlusEpsilon) {
+  util::Rng rng(3);
+  const auto gg = graph::road_network(8, 8, rng);
+  const hierarchy::DecompositionTree tree(
+      gg.graph, separator::PlanarCycleSeparator(gg.positions));
+  const double epsilon = 0.3;
+  const RoutingScheme scheme(tree, epsilon);
+  for (Vertex u = 0; u < 64; u += 5)
+    for (Vertex v = 2; v < 64; v += 7) {
+      if (u == v) continue;
+      const RouteResult r = scheme.route(u, v);
+      ASSERT_TRUE(r.delivered);
+      const Weight d = sssp::distance(gg.graph, u, v);
+      EXPECT_GE(r.cost, d - 1e-9);
+      EXPECT_LE(r.cost, (1 + epsilon) * d + 1e-9);
+    }
+}
+
+TEST(Routing, GridSchemeMatchesOracleEstimates) {
+  const graph::GridGraph gg = graph::grid(7, 7);
+  const hierarchy::DecompositionTree tree(gg.graph,
+                                          separator::GridLineSeparator(7, 7));
+  const RoutingScheme scheme(tree, 0.5);
+  for (Vertex u = 0; u < 49; u += 6)
+    for (Vertex v = 1; v < 49; v += 11) {
+      if (u == v) continue;
+      const RouteResult r = scheme.route(u, v);
+      ASSERT_TRUE(r.delivered);
+      EXPECT_NEAR(r.cost, scheme.oracle().query(u, v), 1e-9);
+    }
+}
+
+TEST(Routing, TableAccountingIsConsistent) {
+  const graph::GridGraph gg = graph::grid(8, 8);
+  const hierarchy::DecompositionTree tree(gg.graph,
+                                          separator::GridLineSeparator(8, 8));
+  const RoutingScheme scheme(tree, 0.5);
+  EXPECT_GT(scheme.table_words(), scheme.oracle().size_in_words());
+  EXPECT_GE(scheme.max_table_words(), scheme.oracle().max_label_words());
+  EXPECT_LE(scheme.max_table_words(), scheme.table_words());
+}
+
+TEST(Routing, EvaluateRoutingSamplesPairs) {
+  util::Rng rng(5);
+  const auto gg = graph::random_apollonian(60, rng);
+  const hierarchy::DecompositionTree tree(
+      gg.graph, separator::PlanarCycleSeparator(gg.positions));
+  const RoutingScheme scheme(tree, 0.5);
+  util::Rng eval_rng(7);
+  const RoutingStats stats = evaluate_routing(scheme, gg.graph, 40, eval_rng);
+  EXPECT_EQ(stats.pairs, 40u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.stretch.count(), 40u);
+  EXPECT_GE(stats.stretch.min(), 1.0 - 1e-9);
+  EXPECT_LE(stats.stretch.max(), 1.5 + 1e-9);
+}
+
+TEST(Routing, ConsistencyCheckerCatchesBadWalks) {
+  const graph::Graph g = graph::path_graph(4);
+  RouteResult fake;
+  fake.delivered = true;
+  fake.route = {0, 2};  // not adjacent
+  fake.cost = 1.0;
+  EXPECT_FALSE(route_is_consistent(g, fake));
+  fake.route = {0, 1};
+  fake.cost = 5.0;  // wrong cost
+  EXPECT_FALSE(route_is_consistent(g, fake));
+  fake.cost = 1.0;
+  EXPECT_TRUE(route_is_consistent(g, fake));
+  fake.delivered = false;
+  EXPECT_FALSE(route_is_consistent(g, fake));
+}
+
+TEST(Routing, TreeRoutingIsExact) {
+  util::Rng rng(9);
+  const graph::Graph g =
+      graph::random_tree(50, rng, graph::WeightSpec::uniform_real(1, 5));
+  const hierarchy::DecompositionTree tree(g,
+                                          separator::TreeCentroidSeparator());
+  const RoutingScheme scheme(tree, 0.25);
+  for (Vertex u = 0; u < 50; u += 7)
+    for (Vertex v = 3; v < 50; v += 11) {
+      const RouteResult r = scheme.route(u, v);
+      ASSERT_TRUE(r.delivered);
+      EXPECT_NEAR(r.cost, sssp::distance(g, u, v), 1e-9);
+      EXPECT_TRUE(route_is_consistent(g, r));
+    }
+}
+
+}  // namespace
+}  // namespace pathsep::routing

@@ -1,0 +1,370 @@
+#include "separator/finders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/subgraph.hpp"
+#include "separator/validate.hpp"
+
+namespace pathsep::separator {
+namespace {
+
+using graph::GeometricGraph;
+using graph::GridGraph;
+
+void expect_valid(const Graph& g, const PathSeparator& s,
+                  std::size_t max_paths = 0) {
+  const ValidationReport report = validate(g, s);
+  EXPECT_TRUE(report.ok) << report.error;
+  if (max_paths > 0) EXPECT_LE(report.path_count, max_paths);
+}
+
+TEST(PathSeparatorType, CountsAndVertices) {
+  PathSeparator s;
+  s.stages.push_back({{1, 2, 3}, {3, 4}});
+  s.stages.push_back({{7}});
+  EXPECT_EQ(s.path_count(), 3u);
+  EXPECT_EQ(s.vertices(), (std::vector<Vertex>{1, 2, 3, 4, 7}));
+  EXPECT_FALSE(s.strong());
+  EXPECT_FALSE(s.empty());
+  const auto mask = s.removal_mask(9);
+  EXPECT_TRUE(mask[7]);
+  EXPECT_FALSE(mask[0]);
+}
+
+TEST(PathSeparatorType, EmptyDetection) {
+  PathSeparator s;
+  EXPECT_TRUE(s.empty());
+  s.stages.push_back({});
+  EXPECT_TRUE(s.empty());
+  s.stages.push_back({{0}});
+  EXPECT_FALSE(s.empty());
+}
+
+// ---- tree centroid ---------------------------------------------------------
+
+TEST(TreeCentroid, PathGraphCentroidIsMiddle) {
+  const Graph g = graph::path_graph(9);
+  const PathSeparator s = TreeCentroidSeparator().find(g);
+  ASSERT_EQ(s.path_count(), 1u);
+  EXPECT_EQ(s.stages[0][0], (std::vector<Vertex>{4}));
+  expect_valid(g, s, 1);
+}
+
+TEST(TreeCentroid, StarCentroidIsHub) {
+  const Graph g = graph::star_graph(8);
+  const PathSeparator s = TreeCentroidSeparator().find(g);
+  EXPECT_EQ(s.stages[0][0][0], 0u);
+  expect_valid(g, s, 1);
+}
+
+TEST(TreeCentroid, SingleVertex) {
+  const Graph g = graph::path_graph(1);
+  expect_valid(g, TreeCentroidSeparator().find(g), 1);
+}
+
+TEST(TreeCentroid, RejectsNonTrees) {
+  const Graph g = graph::cycle_graph(4);
+  EXPECT_THROW(TreeCentroidSeparator().find(g), std::invalid_argument);
+}
+
+class TreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeSweep, RandomTreesAreOnePathSeparable) {
+  util::Rng rng(GetParam());
+  const Graph g = graph::random_tree(GetParam() * 37 + 3, rng);
+  expect_valid(g, TreeCentroidSeparator().find(g), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeSweep, ::testing::Values(1, 2, 5, 9, 20));
+
+// ---- grid line -------------------------------------------------------------
+
+TEST(GridLine, FullGridMiddleLine) {
+  const GridGraph gg = graph::grid(6, 9);
+  GridLineSeparator finder(6, 9);
+  const PathSeparator s = finder.find(gg.graph);
+  ASSERT_EQ(s.path_count(), 1u);
+  EXPECT_EQ(s.stages[0][0].size(), 6u);  // cuts the longer dimension: a column
+  expect_valid(gg.graph, s, 1);
+}
+
+TEST(GridLine, TallGridCutsRow) {
+  const GridGraph gg = graph::grid(9, 4);
+  const PathSeparator s = GridLineSeparator(9, 4).find(gg.graph);
+  EXPECT_EQ(s.stages[0][0].size(), 4u);
+  expect_valid(gg.graph, s, 1);
+}
+
+TEST(GridLine, SingleCell) {
+  const GridGraph gg = graph::grid(1, 1);
+  expect_valid(gg.graph, GridLineSeparator(1, 1).find(gg.graph), 1);
+}
+
+TEST(GridLine, RejectsNonRectangles) {
+  const GridGraph gg = graph::grid(3, 3);
+  // An L-shaped subset is not a full sub-rectangle.
+  const graph::Subgraph sub = graph::induced_subgraph(gg.graph, {0, 1, 3});
+  GridLineSeparator finder(3, 3);
+  EXPECT_THROW(finder.find(sub.graph, sub.to_parent), std::invalid_argument);
+}
+
+// ---- treewidth bag ---------------------------------------------------------
+
+class KTreeSeparator : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KTreeSeparator, BagSeparatorUsesAtMostWidthPlusOnePaths) {
+  const std::size_t k = GetParam();
+  util::Rng rng(50 + k);
+  const Graph g = graph::random_ktree(120, k, rng);
+  const PathSeparator s = TreewidthBagSeparator().find(g);
+  EXPECT_TRUE(s.strong());
+  expect_valid(g, s, k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KTreeSeparator, ::testing::Values(1, 2, 3, 4));
+
+TEST(TreewidthBag, SeriesParallelNeedsFewPaths) {
+  util::Rng rng(3);
+  const Graph g = graph::random_series_parallel(150, rng);
+  // Theorem 7: strongly (w+1)-path separable; heuristic width <= 3 here.
+  expect_valid(g, TreewidthBagSeparator().find(g), 4);
+}
+
+// ---- planar fundamental cycle ----------------------------------------------
+
+TEST(PlanarCycle, ApollonianUsesAtMostThreePaths) {
+  util::Rng rng(5);
+  const GeometricGraph gg = graph::random_apollonian(200, rng);
+  PlanarCycleSeparator finder(gg.positions);
+  const PathSeparator s = finder.find(gg.graph);
+  EXPECT_TRUE(s.strong());
+  expect_valid(gg.graph, s, 3);
+}
+
+TEST(PlanarCycle, GridUsesAtMostThreePaths) {
+  const GridGraph gg = graph::grid(10, 10);
+  PlanarCycleSeparator finder(gg.positions);
+  expect_valid(gg.graph, finder.find(gg.graph), 3);
+}
+
+TEST(PlanarCycle, WeightedRoadNetwork) {
+  util::Rng rng(7);
+  const GeometricGraph gg = graph::road_network(10, 10, rng);
+  PlanarCycleSeparator finder(gg.positions);
+  expect_valid(gg.graph, finder.find(gg.graph), 3);
+}
+
+TEST(PlanarCycle, WorksOnSubgraphsViaRootIds) {
+  util::Rng rng(9);
+  const GeometricGraph gg = graph::random_apollonian(120, rng);
+  PlanarCycleSeparator finder(gg.positions);
+  const PathSeparator top = finder.find(gg.graph);
+  const auto mask = top.removal_mask(gg.graph.num_vertices());
+  const graph::Components comps =
+      graph::connected_components(gg.graph, mask);
+  ASSERT_GT(comps.count(), 0u);
+  std::vector<Vertex> members;
+  for (Vertex v = 0; v < gg.graph.num_vertices(); ++v)
+    if (comps.label[v] == comps.largest_id()) members.push_back(v);
+  const graph::Subgraph sub = graph::induced_subgraph(gg.graph, members);
+  const PathSeparator s = finder.find(sub.graph, sub.to_parent);
+  expect_valid(sub.graph, s, 3);
+}
+
+TEST(PlanarCycle, SingleVertexAndEdge) {
+  {
+    graph::GraphBuilder b(1);
+    const Graph g = std::move(b).build();
+    PlanarCycleSeparator finder({{0, 0}});
+    expect_valid(g, finder.find(g), 1);
+  }
+  {
+    graph::GraphBuilder b(2);
+    b.add_edge(0, 1);
+    const Graph g = std::move(b).build();
+    PlanarCycleSeparator finder({{0, 0}, {1, 0}});
+    expect_valid(g, finder.find(g), 3);
+  }
+}
+
+class PlanarSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanarSweep, WeightedApollonianStaysThreePathSeparable) {
+  util::Rng rng(GetParam());
+  const GeometricGraph gg = graph::random_apollonian(
+      100 + 40 * GetParam(), rng, graph::WeightSpec::euclidean());
+  PlanarCycleSeparator finder(gg.positions);
+  expect_valid(gg.graph, finder.find(gg.graph), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanarSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---- greedy fallback -------------------------------------------------------
+
+TEST(GreedyPaths, TerminatesOnExpander) {
+  util::Rng rng(11);
+  const Graph g = graph::random_expander(128, 6, rng);
+  const PathSeparator s = GreedyPathSeparator().find(g);
+  expect_valid(g, s);  // no path-count bound: Theorem 5 says it can be large
+  EXPECT_GE(s.path_count(), 1u);
+}
+
+TEST(GreedyPaths, CheapOnPathGraph) {
+  const Graph g = graph::path_graph(64);
+  const PathSeparator s = GreedyPathSeparator().find(g);
+  expect_valid(g, s);
+  EXPECT_EQ(s.path_count(), 1u);  // the whole path is one shortest path
+}
+
+TEST(GreedyPaths, EveryStageIsSingleResidualShortestPath) {
+  util::Rng rng(13);
+  const Graph g = graph::gnm_random(80, 200, rng);
+  const PathSeparator s = GreedyPathSeparator().find(g);
+  for (const auto& stage : s.stages) EXPECT_EQ(stage.size(), 1u);
+  expect_valid(g, s);
+}
+
+TEST(GreedyPaths, RespectsMaxPathsCap) {
+  util::Rng rng(17);
+  const Graph g = graph::random_expander(256, 8, rng);
+  const PathSeparator s = GreedyPathSeparator(1, 2).find(g);
+  EXPECT_LE(s.path_count(), 2u);  // may not separate, but must respect cap
+}
+
+// ---- strong greedy (§5.2) ---------------------------------------------------
+
+TEST(StrongGreedy, SingleStageAndValid) {
+  util::Rng rng(31);
+  const Graph g = graph::gnm_random(120, 300, rng);
+  const PathSeparator s = StrongGreedySeparator().find(g);
+  EXPECT_TRUE(s.strong());
+  expect_valid(g, s);
+}
+
+TEST(StrongGreedy, MatchesStagedOnPathGraphs) {
+  const Graph g = graph::path_graph(50);
+  const PathSeparator s = StrongGreedySeparator().find(g);
+  EXPECT_EQ(s.path_count(), 1u);
+  expect_valid(g, s);
+}
+
+TEST(StrongGreedy, MeshApexBlowupVersusStaged) {
+  // Theorem 6.3's separation, measured: the strong variant needs far more
+  // paths than the 2-stage construction on the mesh+apex graph.
+  const Graph g = graph::mesh_with_apex(10);
+  const PathSeparator strong = StrongGreedySeparator().find(g);
+  expect_valid(g, strong);
+  EXPECT_GE(strong.path_count(), 10u / 3);  // the Omega(sqrt n) floor
+  EXPECT_GT(strong.path_count(), 2u);       // worse than the staged k = 2
+}
+
+TEST(StrongGreedy, PathsMayOverlapWithinTheStage) {
+  // On mesh+apex nearly every chosen path routes through the apex; the
+  // validator must accept same-stage overlap (Definition 1 allows it).
+  const Graph g = graph::mesh_with_apex(8);
+  const PathSeparator s = StrongGreedySeparator(7).find(g);
+  const ValidationReport report = validate(g, s);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+// ---- auto dispatch ---------------------------------------------------------
+
+TEST(AutoDispatch, PicksCentroidOnTrees) {
+  util::Rng rng(19);
+  const Graph g = graph::random_tree(60, rng);
+  const PathSeparator s = AutoSeparator().find(g);
+  EXPECT_EQ(s.path_count(), 1u);
+  expect_valid(g, s, 1);
+}
+
+TEST(AutoDispatch, UsesDrawingWhenProvided) {
+  util::Rng rng(21);
+  const GeometricGraph gg = graph::random_apollonian(90, rng);
+  AutoSeparator finder(gg.positions);
+  expect_valid(gg.graph, finder.find(gg.graph), 3);
+}
+
+TEST(AutoDispatch, FallsBackToBagOnNarrowGraphs) {
+  util::Rng rng(23);
+  const Graph g = graph::random_ktree(90, 3, rng);
+  const PathSeparator s = AutoSeparator().find(g);
+  expect_valid(g, s, 4);
+}
+
+TEST(AutoDispatch, FallsBackToGreedyOnExpanders) {
+  util::Rng rng(25);
+  const Graph g = graph::random_expander(128, 8, rng);
+  const PathSeparator s = AutoSeparator().find(g);
+  expect_valid(g, s);
+}
+
+// ---- validator diagnostics -------------------------------------------------
+
+TEST(Validator, FlagsNonAdjacentPath) {
+  const Graph g = graph::path_graph(5);
+  PathSeparator s;
+  s.stages.push_back({{0, 2}});
+  const ValidationReport report = validate(g, s);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("adjacent"), std::string::npos);
+}
+
+TEST(Validator, FlagsNonShortestPath) {
+  const Graph g = graph::cycle_graph(4);
+  PathSeparator s;
+  s.stages.push_back({{0, 1, 2, 3}});  // cost 3, direct 0-3 edge costs 1
+  const ValidationReport report = validate(g, s);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("shortest"), std::string::npos);
+}
+
+TEST(Validator, FlagsUnbalancedSeparator) {
+  const Graph g = graph::path_graph(9);
+  PathSeparator s;
+  s.stages.push_back({{0}});  // leaves a component of 8 > 4
+  const ValidationReport report = validate(g, s);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("P3"), std::string::npos);
+}
+
+TEST(Validator, FlagsReusedVertexAcrossStages) {
+  const Graph g = graph::path_graph(5);
+  PathSeparator s;
+  s.stages.push_back({{2}});
+  s.stages.push_back({{2}});
+  EXPECT_FALSE(validate(g, s).ok);
+}
+
+TEST(Validator, FlagsRepeatedVertexWithinPath) {
+  const Graph g = graph::cycle_graph(4);
+  PathSeparator s;
+  s.stages.push_back({{0, 1, 0}});
+  EXPECT_FALSE(validate(g, s).ok);
+}
+
+TEST(Validator, AcceptsLaterStageShortestInResidual) {
+  // 0-1-2-3-0 cycle plus chord: after removing {0}, the path 1-2-3 is
+  // shortest in the residual even though 1-0-3 was shorter originally.
+  const Graph g = graph::cycle_graph(4);
+  PathSeparator s;
+  s.stages.push_back({{0}});
+  s.stages.push_back({{1, 2, 3}});
+  const ValidationReport report = validate(g, s);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(Validator, ReportsComponentStatistics) {
+  const Graph g = graph::path_graph(9);
+  PathSeparator s;
+  s.stages.push_back({{4}});
+  const ValidationReport report = validate(g, s);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.component_count, 2u);
+  EXPECT_EQ(report.largest_component, 4u);
+  EXPECT_EQ(report.separator_vertices, 1u);
+  EXPECT_EQ(report.path_count, 1u);
+}
+
+}  // namespace
+}  // namespace pathsep::separator

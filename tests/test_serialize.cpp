@@ -1,0 +1,135 @@
+#include "oracle/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "oracle/path_oracle.hpp"
+#include "separator/finders.hpp"
+
+namespace pathsep::oracle {
+namespace {
+
+TEST(Varint, RoundTripsRepresentativeValues) {
+  for (std::uint64_t value :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xffffffffull, 0xffffffffffffffffull}) {
+    std::vector<std::uint8_t> buf;
+    append_varint(buf, value);
+    std::size_t offset = 0;
+    EXPECT_EQ(read_varint(buf, offset), value);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, 42);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(Varint, TruncatedInputThrows) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, 1u << 20);
+  buf.pop_back();
+  std::size_t offset = 0;
+  EXPECT_THROW(read_varint(buf, offset), std::runtime_error);
+}
+
+DistanceLabel sample_label() {
+  DistanceLabel label;
+  label.vertex = 17;
+  LabelPart part;
+  part.node = 3;
+  part.path = 1;
+  part.connections.push_back(Connection{5, 9, 1.25, 0.5});
+  part.connections.push_back(Connection{7, graph::kInvalidVertex, 0.0, 2.5});
+  label.parts.push_back(part);
+  LabelPart part2;
+  part2.node = 12;
+  part2.path = 0;
+  part2.connections.push_back(Connection{0, 2, 3.75, 0.0});
+  label.parts.push_back(part2);
+  return label;
+}
+
+TEST(LabelSerialization, RoundTripPreservesEverything) {
+  const DistanceLabel label = sample_label();
+  const auto bytes = serialize_label(label);
+  const DistanceLabel back = deserialize_label(bytes);
+  ASSERT_EQ(back.vertex, label.vertex);
+  ASSERT_EQ(back.parts.size(), label.parts.size());
+  for (std::size_t p = 0; p < label.parts.size(); ++p) {
+    EXPECT_EQ(back.parts[p].node, label.parts[p].node);
+    EXPECT_EQ(back.parts[p].path, label.parts[p].path);
+    ASSERT_EQ(back.parts[p].connections.size(),
+              label.parts[p].connections.size());
+    for (std::size_t c = 0; c < label.parts[p].connections.size(); ++c) {
+      EXPECT_EQ(back.parts[p].connections[c].path_index,
+                label.parts[p].connections[c].path_index);
+      EXPECT_EQ(back.parts[p].connections[c].next_hop,
+                label.parts[p].connections[c].next_hop);
+      EXPECT_DOUBLE_EQ(back.parts[p].connections[c].dist,
+                       label.parts[p].connections[c].dist);
+      EXPECT_DOUBLE_EQ(back.parts[p].connections[c].prefix,
+                       label.parts[p].connections[c].prefix);
+    }
+  }
+}
+
+TEST(LabelSerialization, BitsMatchesBufferSize) {
+  const DistanceLabel label = sample_label();
+  EXPECT_EQ(serialized_bits(label), serialize_label(label).size() * 8);
+}
+
+TEST(LabelSerialization, TrailingBytesRejected) {
+  auto bytes = serialize_label(sample_label());
+  bytes.push_back(0);
+  EXPECT_THROW(deserialize_label(bytes), std::runtime_error);
+}
+
+TEST(LabelSerialization, TruncationRejected) {
+  auto bytes = serialize_label(sample_label());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_label(bytes), std::runtime_error);
+}
+
+TEST(LabelSerialization, DeserializedLabelsAnswerQueries) {
+  util::Rng rng(3);
+  const auto gg = graph::random_apollonian(60, rng);
+  const hierarchy::DecompositionTree tree(
+      gg.graph, separator::PlanarCycleSeparator(gg.positions));
+  const PathOracle oracle(tree, 0.4);
+  for (Vertex u = 0; u < 60; u += 7)
+    for (Vertex v = 1; v < 60; v += 11) {
+      const DistanceLabel lu =
+          deserialize_label(serialize_label(oracle.label(u)));
+      const DistanceLabel lv =
+          deserialize_label(serialize_label(oracle.label(v)));
+      EXPECT_EQ(query_labels(lu, lv), oracle.query(u, v));
+    }
+}
+
+TEST(LabelSerialization, WireSizeBeatsWordAccounting) {
+  // Varint encoding should cost fewer bits than the canonical 64-bit word
+  // count for real labels (ids are small).
+  util::Rng rng(5);
+  const auto gg = graph::random_apollonian(200, rng);
+  const hierarchy::DecompositionTree tree(
+      gg.graph, separator::PlanarCycleSeparator(gg.positions));
+  const PathOracle oracle(tree, 0.25);
+  for (Vertex v = 0; v < 200; v += 23) {
+    const DistanceLabel& label = oracle.label(v);
+    EXPECT_LT(serialized_bits(label), label.size_in_words() * 64);
+  }
+}
+
+TEST(LabelSerialization, EmptyLabel) {
+  DistanceLabel label;
+  label.vertex = 0;
+  const DistanceLabel back = deserialize_label(serialize_label(label));
+  EXPECT_EQ(back.vertex, 0u);
+  EXPECT_TRUE(back.parts.empty());
+}
+
+}  // namespace
+}  // namespace pathsep::oracle

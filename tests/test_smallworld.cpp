@@ -1,0 +1,267 @@
+#include "smallworld/augmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+#include "smallworld/greedy_router.hpp"
+#include "smallworld/kleinberg.hpp"
+#include "smallworld/landmarks.hpp"
+#include "smallworld/nearest_contact.hpp"
+#include "sssp/metrics.hpp"
+
+namespace pathsep::smallworld {
+namespace {
+
+TEST(GreedyRouter, ReachesTargetWithoutContacts) {
+  const graph::Graph g = graph::path_graph(20);
+  const GreedyResult r = greedy_route(g, {}, 0, 19);
+  EXPECT_TRUE(r.reached);
+  EXPECT_EQ(r.hops, 19u);
+}
+
+TEST(GreedyRouter, SourceEqualsTarget) {
+  const graph::Graph g = graph::path_graph(5);
+  const GreedyResult r = greedy_route(g, {}, 2, 2);
+  EXPECT_TRUE(r.reached);
+  EXPECT_EQ(r.hops, 0u);
+}
+
+TEST(GreedyRouter, LongRangeContactShortcuts) {
+  const graph::Graph g = graph::path_graph(100);
+  std::vector<Vertex> contacts(100, graph::kInvalidVertex);
+  contacts[0] = 90;  // one huge shortcut
+  const GreedyResult r = greedy_route(g, contacts, 0, 99);
+  EXPECT_TRUE(r.reached);
+  EXPECT_EQ(r.hops, 10u);  // 0 -> 90, then 9 grid hops
+}
+
+TEST(GreedyRouter, GivesUpAfterMaxHops) {
+  const graph::Graph g = graph::path_graph(50);
+  const GreedyResult r = greedy_route(g, {}, 0, 49, 5);
+  EXPECT_FALSE(r.reached);
+  EXPECT_EQ(r.hops, 5u);
+}
+
+TEST(GreedyRouter, EvaluateCollectsStats) {
+  const graph::GridGraph gg = graph::grid(8, 8);
+  util::Rng rng(3);
+  const GreedyStats stats = evaluate_greedy(gg.graph, {}, 25, rng);
+  EXPECT_EQ(stats.pairs, 25u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.hops.mean(), 0.0);
+}
+
+TEST(Kleinberg, ContactsAreValidAndNotSelf) {
+  const graph::GridGraph gg = graph::grid(12, 12);
+  util::Rng rng(7);
+  const auto contacts = kleinberg_contacts(gg, rng);
+  ASSERT_EQ(contacts.size(), 144u);
+  for (Vertex v = 0; v < 144; ++v) {
+    EXPECT_NE(contacts[v], v);
+    EXPECT_LT(contacts[v], 144u);
+  }
+}
+
+TEST(Kleinberg, HarmonicExponentFavorsShortLinks) {
+  const graph::GridGraph gg = graph::grid(20, 20);
+  util::Rng rng(9);
+  const auto near = kleinberg_contacts(gg, rng, 3.0);   // strongly local
+  const auto far = kleinberg_contacts(gg, rng, 0.0);    // uniform-ish
+  auto mean_manhattan = [&](const std::vector<Vertex>& contacts) {
+    double total = 0;
+    for (Vertex v = 0; v < 400; ++v) {
+      const auto vi = v / 20, vj = v % 20;
+      const auto ci = contacts[v] / 20, cj = contacts[v] % 20;
+      total += std::abs(static_cast<double>(vi) - ci) +
+               std::abs(static_cast<double>(vj) - cj);
+    }
+    return total / 400;
+  };
+  EXPECT_LT(mean_manhattan(near), mean_manhattan(far));
+}
+
+TEST(Kleinberg, AugmentationSpeedsUpGreedyRouting) {
+  const graph::GridGraph gg = graph::grid(24, 24);
+  util::Rng rng(11);
+  const auto contacts = kleinberg_contacts(gg, rng);
+  util::Rng eval_rng(13);
+  const GreedyStats plain = evaluate_greedy(gg.graph, {}, 60, eval_rng);
+  util::Rng eval_rng2(13);
+  const GreedyStats augmented =
+      evaluate_greedy(gg.graph, contacts, 60, eval_rng2);
+  EXPECT_LT(augmented.hops.mean(), plain.hops.mean());
+}
+
+// ---- the paper's augmentation ----------------------------------------------
+
+struct AugmentedSetup {
+  graph::GridGraph gg;
+  std::unique_ptr<hierarchy::DecompositionTree> tree;
+  std::unique_ptr<PathSeparatorAugmentation> augmentation;
+};
+
+AugmentedSetup grid_setup(std::size_t side) {
+  AugmentedSetup setup{graph::grid(side, side), nullptr, nullptr};
+  setup.tree = std::make_unique<hierarchy::DecompositionTree>(
+      setup.gg.graph, separator::GridLineSeparator(side, side));
+  setup.augmentation = std::make_unique<PathSeparatorAugmentation>(
+      *setup.tree, sssp::exact_aspect_ratio(setup.gg.graph));
+  return setup;
+}
+
+TEST(Augmentation, ContactsAreOnSeparatorPaths) {
+  const AugmentedSetup setup = grid_setup(10);
+  util::Rng rng(1);
+  const auto contacts = setup.augmentation->sample_all(rng);
+  // Every contact must be some vertex of the graph; most importantly the
+  // sampler must never crash and never return an invalid id.
+  for (Vertex v = 0; v < 100; ++v) EXPECT_LT(contacts[v], 100u);
+}
+
+TEST(Augmentation, LandmarkSetsSatisfyClaim1) {
+  const AugmentedSetup setup = grid_setup(9);
+  for (Vertex v : {0u, 40u, 80u}) {
+    for (const auto& [node_id, local] : setup.tree->chain(v)) {
+      const auto& node = setup.tree->node(node_id);
+      for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
+        const Claim1Report report =
+            verify_claim1(*setup.tree, *setup.augmentation, v, node_id, pi);
+        EXPECT_TRUE(report.holds)
+            << "v=" << v << " node=" << node_id << " path=" << pi
+            << " worst ratio " << report.worst_ratio;
+      }
+    }
+  }
+}
+
+class Claim1Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Claim1Sweep, HoldsOnWeightedPlanarGraphs) {
+  util::Rng rng(GetParam());
+  const auto gg = graph::random_apollonian(70, rng);
+  const hierarchy::DecompositionTree tree(
+      gg.graph, separator::PlanarCycleSeparator(gg.positions));
+  const PathSeparatorAugmentation augmentation(
+      tree, sssp::exact_aspect_ratio(gg.graph));
+  util::Rng pick(GetParam() * 3 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vertex v = static_cast<Vertex>(pick.next_below(70));
+    const auto& chain = tree.chain(v);
+    const auto& [node_id, local] = chain[pick.next_below(chain.size())];
+    const auto& node = tree.node(node_id);
+    if (node.paths.empty()) continue;
+    const std::size_t pi = pick.next_below(node.paths.size());
+    const Claim1Report report =
+        verify_claim1(tree, augmentation, v, node_id, pi);
+    EXPECT_TRUE(report.holds) << "worst ratio " << report.worst_ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Claim1Sweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(Augmentation, GreedyRoutingBeatsPlainGridAtScale) {
+  const AugmentedSetup setup = grid_setup(24);
+  util::Rng rng(5);
+  const auto contacts = setup.augmentation->sample_all(rng);
+  util::Rng eval_rng(17);
+  const GreedyStats plain = evaluate_greedy(setup.gg.graph, {}, 60, eval_rng);
+  util::Rng eval_rng2(17);
+  const GreedyStats augmented =
+      evaluate_greedy(setup.gg.graph, contacts, 60, eval_rng2);
+  EXPECT_EQ(augmented.failures, 0u);
+  EXPECT_LT(augmented.hops.mean(), plain.hops.mean());
+}
+
+TEST(Augmentation, PolylogHopScaling) {
+  // Mean greedy hops should grow far slower than the diameter.
+  std::vector<double> means;
+  for (std::size_t side : {12u, 24u}) {
+    const AugmentedSetup setup = grid_setup(side);
+    util::Rng rng(7);
+    const auto contacts = setup.augmentation->sample_all(rng);
+    util::Rng eval_rng(19);
+    means.push_back(
+        evaluate_greedy(setup.gg.graph, contacts, 80, eval_rng).hops.mean());
+  }
+  // Diameter doubles (2*side); hops must grow by clearly less than 2x.
+  EXPECT_LT(means[1], means[0] * 1.9);
+}
+
+// ---- Note 2: nearest-separator contacts ------------------------------------
+
+TEST(NearestContact, ContactsAreValidVertices) {
+  const AugmentedSetup setup = grid_setup(12);
+  const NearestContactAugmentation nearest(*setup.tree);
+  util::Rng rng(3);
+  const auto contacts = nearest.sample_all(rng);
+  for (Vertex v = 0; v < 144; ++v) EXPECT_LT(contacts[v], 144u);
+}
+
+TEST(NearestContact, RootLevelContactIsTheClosestSeparatorVertex) {
+  const AugmentedSetup setup = grid_setup(9);
+  const NearestContactAugmentation nearest(*setup.tree);
+  // Force tau = root by sampling until the chain has length 1... instead
+  // verify directly: for a vertex whose chain is only the root node (a
+  // vertex on the root separator itself), the contact is on the root paths.
+  const auto& root = setup.tree->node(0);
+  const Vertex on_sep = root.paths[0].verts[0];
+  util::Rng rng(5);
+  const Vertex contact =
+      nearest.sample_contact(root.root_ids[on_sep], rng);
+  EXPECT_LT(contact, 81u);
+}
+
+TEST(NearestContact, MaxPathLengthIsTheGridSide) {
+  const AugmentedSetup setup = grid_setup(16);
+  const NearestContactAugmentation nearest(*setup.tree);
+  // The longest separator path of a 16x16 grid hierarchy is the root's
+  // middle line: 16 vertices, weighted length 15.
+  EXPECT_DOUBLE_EQ(nearest.max_path_length(), 15.0);
+}
+
+TEST(NearestContact, SpeedsUpGreedyRoutingOnGrids) {
+  const AugmentedSetup setup = grid_setup(24);
+  const NearestContactAugmentation nearest(*setup.tree);
+  util::Rng rng(7);
+  const auto contacts = nearest.sample_all(rng);
+  util::Rng eval0(23);
+  const GreedyStats plain = evaluate_greedy(setup.gg.graph, {}, 60, eval0);
+  util::Rng eval1(23);
+  const GreedyStats augmented =
+      evaluate_greedy(setup.gg.graph, contacts, 60, eval1);
+  EXPECT_EQ(augmented.failures, 0u);
+  EXPECT_LT(augmented.hops.mean(), plain.hops.mean());
+}
+
+TEST(NearestContact, WorksOnTreesWhereSeparatorsAreVertices) {
+  util::Rng grng(9);
+  const graph::Graph g = graph::random_tree(300, grng);
+  const hierarchy::DecompositionTree tree(
+      g, separator::TreeCentroidSeparator());
+  const NearestContactAugmentation nearest(tree);
+  EXPECT_DOUBLE_EQ(nearest.max_path_length(), 0.0);  // single-vertex paths
+  util::Rng rng(11);
+  const auto contacts = nearest.sample_all(rng);
+  util::Rng eval(13);
+  const GreedyStats stats = evaluate_greedy(g, contacts, 50, eval);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(Augmentation, LandmarksLieOnTheNamedPath) {
+  const AugmentedSetup setup = grid_setup(8);
+  const auto& node = setup.tree->node(0);
+  ASSERT_FALSE(node.paths.empty());
+  const auto landmarks = setup.augmentation->landmarks(5, 0, 0);
+  for (Vertex lm : landmarks) {
+    bool on_path = false;
+    for (Vertex u : node.paths[0].verts)
+      if (node.root_ids[u] == lm) on_path = true;
+    EXPECT_TRUE(on_path);
+  }
+}
+
+}  // namespace
+}  // namespace pathsep::smallworld

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sssp/alt.hpp"
+#include "sssp/apsp.hpp"
+#include "sssp/bidirectional.hpp"
+#include "sssp/bfs.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/metrics.hpp"
+#include "sssp/sp_tree.hpp"
+
+namespace pathsep::sssp {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::Vertex;
+using graph::Weight;
+
+Graph weighted_diamond() {
+  //     1
+  //   /   \        0-1 = 1, 1-3 = 1, 0-2 = 5, 2-3 = 1, 0-3 via top = 2.
+  //  0     3
+  //   \   /
+  //     2
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 3, 1.0);
+  b.add_edge(0, 2, 5.0);
+  b.add_edge(2, 3, 1.0);
+  return std::move(b).build();
+}
+
+TEST(Dijkstra, PicksCheaperOfTwoRoutes) {
+  const Graph g = weighted_diamond();
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 2.0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 3.0);  // through 3, not the weight-5 edge
+  EXPECT_EQ(sp.parent[3], 1u);
+}
+
+TEST(Dijkstra, SourceHasZeroDistanceNoParent) {
+  const ShortestPaths sp = dijkstra(weighted_diamond(), 2);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 0.0);
+  EXPECT_EQ(sp.parent[2], graph::kInvalidVertex);
+}
+
+TEST(Dijkstra, UnreachableStaysInfinite) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_FALSE(sp.reached(2));
+  EXPECT_EQ(sp.dist[2], graph::kInfiniteWeight);
+}
+
+TEST(Dijkstra, MultiSourceTakesMinimum) {
+  const Graph g = graph::path_graph(7);
+  const Vertex sources[] = {0, 6};
+  const ShortestPaths sp = dijkstra(g, sources);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 3.0);
+  EXPECT_DOUBLE_EQ(sp.dist[5], 1.0);
+}
+
+TEST(Dijkstra, MaskedAvoidsRemovedVertices) {
+  const Graph g = graph::cycle_graph(6);
+  std::vector<bool> removed(6, false);
+  removed[1] = true;
+  const Vertex sources[] = {0};
+  const ShortestPaths sp = dijkstra_masked(g, sources, removed);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 4.0);  // must go the long way around
+  EXPECT_FALSE(sp.reached(1));
+}
+
+TEST(Dijkstra, BoundedStopsAtRadius) {
+  const Graph g = graph::path_graph(100);
+  const ShortestPaths sp = dijkstra_bounded(g, 0, 5.0);
+  EXPECT_TRUE(sp.reached(5));
+  EXPECT_FALSE(sp.reached(90));
+}
+
+TEST(Dijkstra, PointToPointDistance) {
+  EXPECT_DOUBLE_EQ(distance(weighted_diamond(), 0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(distance(weighted_diamond(), 1, 1), 0.0);
+}
+
+TEST(Dijkstra, ExtractPathEndpointsAndCost) {
+  const Graph g = weighted_diamond();
+  const ShortestPaths sp = dijkstra(g, 0);
+  const std::vector<Vertex> path = extract_path(sp, 2);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 2u);
+  EXPECT_DOUBLE_EQ(path_cost(g, path), sp.dist[2]);
+}
+
+TEST(Dijkstra, ExtractPathUnreachedIsEmpty) {
+  GraphBuilder b(2);
+  const Graph g = std::move(b).build();
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_TRUE(extract_path(sp, 1).empty());
+}
+
+TEST(PathCost, ThrowsOnNonAdjacent) {
+  const Graph g = graph::path_graph(4);
+  const std::vector<Vertex> bogus{0, 2};
+  EXPECT_THROW(path_cost(g, bogus), std::invalid_argument);
+}
+
+TEST(Dijkstra, MatchesBfsOnUnitWeights) {
+  util::Rng rng(99);
+  const Graph g = graph::gnm_random(60, 150, rng);
+  const ShortestPaths sp = dijkstra(g, 0);
+  const BfsResult bf = bfs(g, 0);
+  for (Vertex v = 0; v < 60; ++v)
+    EXPECT_DOUBLE_EQ(sp.dist[v], static_cast<double>(bf.hops[v]));
+}
+
+TEST(Bfs, HopCountsOnPath) {
+  const BfsResult bf = bfs(graph::path_graph(5), 0);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(bf.hops[v], v);
+}
+
+TEST(Bfs, MultiSource) {
+  const Vertex sources[] = {0, 4};
+  const BfsResult bf = bfs(graph::path_graph(5), sources);
+  EXPECT_EQ(bf.hops[2], 2u);
+  EXPECT_EQ(bf.hops[3], 1u);
+}
+
+// Property test: Dijkstra distances satisfy the triangle inequality over
+// edges and agree with a Bellman-Ford style relaxation fixpoint.
+class DijkstraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraProperty, FixpointOnRandomWeightedGraph) {
+  util::Rng rng(GetParam());
+  const Graph g = graph::gnm_random(40, 100, rng, true,
+                                    graph::WeightSpec::uniform_real(0.1, 9.0));
+  const ShortestPaths sp = dijkstra(g, 3);
+  for (Vertex u = 0; u < 40; ++u) {
+    for (const graph::Arc& a : g.neighbors(u)) {
+      EXPECT_LE(sp.dist[a.to], sp.dist[u] + a.weight + 1e-9);
+    }
+    if (u != 3 && sp.reached(u)) {
+      // Some edge must be tight (the parent edge).
+      const Vertex p = sp.parent[u];
+      EXPECT_NEAR(sp.dist[u], sp.dist[p] + g.edge_weight(p, u), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Apsp, MatchesPairwiseDijkstra) {
+  util::Rng rng(7);
+  const Graph g = graph::gnm_random(25, 60, rng, true,
+                                    graph::WeightSpec::uniform_real(0.5, 3.0));
+  const DistanceMatrix m(g);
+  for (Vertex u = 0; u < 25; u += 5) {
+    const ShortestPaths sp = dijkstra(g, u);
+    for (Vertex v = 0; v < 25; ++v) EXPECT_DOUBLE_EQ(m.at(u, v), sp.dist[v]);
+  }
+  EXPECT_EQ(m.size_in_words(), 25u * 25u);
+}
+
+TEST(Apsp, MinMaxDistances) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, 3.0);
+  const DistanceMatrix m(std::move(b).build());
+  EXPECT_DOUBLE_EQ(m.max_distance(), 5.0);
+  EXPECT_DOUBLE_EQ(m.min_distance(), 2.0);
+}
+
+TEST(SpTreeTest, AncestryAndDepth) {
+  const Graph g = graph::path_graph(6);
+  const SpTree t(g, 0);
+  EXPECT_TRUE(t.is_ancestor(0, 5));
+  EXPECT_TRUE(t.is_ancestor(2, 4));
+  EXPECT_FALSE(t.is_ancestor(4, 2));
+  EXPECT_TRUE(t.is_ancestor(3, 3));
+  EXPECT_EQ(t.depth(5), 5u);
+}
+
+TEST(SpTreeTest, RootPathOrder) {
+  const Graph g = graph::path_graph(4);
+  const SpTree t(g, 0);
+  EXPECT_EQ(t.root_path(3), (std::vector<Vertex>{0, 1, 2, 3}));
+  EXPECT_EQ(t.root_path(0), (std::vector<Vertex>{0}));
+}
+
+TEST(SpTreeTest, MonotonePathBothDirections) {
+  const Graph g = graph::path_graph(5);
+  const SpTree t(g, 0);
+  EXPECT_EQ(t.monotone_path(1, 3), (std::vector<Vertex>{1, 2, 3}));
+  EXPECT_EQ(t.monotone_path(3, 1), (std::vector<Vertex>{3, 2, 1}));
+}
+
+TEST(SpTreeTest, MonotonePathRejectsUnrelated) {
+  const Graph g = graph::star_graph(4);
+  const SpTree t(g, 0);
+  EXPECT_THROW(t.monotone_path(1, 2), std::invalid_argument);
+}
+
+TEST(SpTreeTest, PreorderStartsAtRootAndCoversAll) {
+  util::Rng rng(5);
+  const Graph g = graph::random_tree(30, rng);
+  const SpTree t(g, 7);
+  EXPECT_EQ(t.preorder().front(), 7u);
+  EXPECT_EQ(t.preorder().size(), 30u);
+}
+
+TEST(SpTreeTest, RootPathsAreShortestPaths) {
+  util::Rng rng(21);
+  const auto gg = graph::random_apollonian(60, rng);
+  const SpTree t(gg.graph, 0);
+  for (Vertex v : {5u, 17u, 42u, 59u}) {
+    const auto path = t.root_path(v);
+    EXPECT_NEAR(path_cost(gg.graph, path), t.dist()[v], 1e-9);
+    EXPECT_NEAR(t.dist()[v], distance(gg.graph, 0, v), 1e-9);
+  }
+}
+
+TEST(Bidirectional, MatchesDijkstraOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    util::Rng rng(seed);
+    const Graph g = graph::gnm_random(
+        80, 200, rng, true, graph::WeightSpec::uniform_real(0.2, 5.0));
+    for (Vertex s = 0; s < 80; s += 11)
+      for (Vertex t = 0; t < 80; t += 13) {
+        const auto result = bidirectional_distance(g, s, t);
+        EXPECT_NEAR(result.distance, distance(g, s, t), 1e-9);
+      }
+  }
+}
+
+TEST(Bidirectional, TrivialAndDisconnectedCases) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 2.0);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(bidirectional_distance(g, 1, 1).distance, 0.0);
+  EXPECT_DOUBLE_EQ(bidirectional_distance(g, 0, 1).distance, 2.0);
+  EXPECT_EQ(bidirectional_distance(g, 0, 2).distance, graph::kInfiniteWeight);
+}
+
+TEST(Bidirectional, SettlesFewerVerticesThanFullSearch) {
+  const graph::GridGraph gg = graph::grid(40, 40);
+  const auto result = bidirectional_distance(gg.graph, gg.at(0, 0), gg.at(3, 3));
+  EXPECT_DOUBLE_EQ(result.distance, 6.0);
+  EXPECT_LT(result.settled, 1600u / 2);  // nearby targets stay local
+}
+
+TEST(Alt, ExactOnRandomWeightedGraphs) {
+  util::Rng rng(5);
+  const Graph g = graph::gnm_random(100, 260, rng, true,
+                                    graph::WeightSpec::uniform_real(0.3, 4.0));
+  util::Rng lrng(1);
+  const AltOracle alt(g, 4, lrng);
+  for (Vertex s = 0; s < 100; s += 13)
+    for (Vertex t = 0; t < 100; t += 17)
+      EXPECT_NEAR(alt.query(s, t), distance(g, s, t), 1e-9);
+}
+
+TEST(Alt, PotentialPrunesTheSearchOnGrids) {
+  const graph::GridGraph gg = graph::grid(30, 30);
+  util::Rng lrng(2);
+  const AltOracle alt(gg.graph, 6, lrng);
+  const Vertex s = gg.at(2, 2), t = gg.at(5, 5);
+  EXPECT_DOUBLE_EQ(alt.query(s, t), 6.0);
+  // Plain Dijkstra settles nearly every vertex closer than d(s,t); the
+  // landmark potential should cut that down substantially.
+  EXPECT_LT(alt.last_settled(), 200u);
+}
+
+TEST(Alt, HandlesTrivialAndDisconnected) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 1.5);
+  const Graph g = std::move(b).build();
+  util::Rng lrng(3);
+  const AltOracle alt(g, 2, lrng);
+  EXPECT_EQ(alt.query(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(alt.query(0, 1), 1.5);
+  EXPECT_EQ(alt.query(0, 2), graph::kInfiniteWeight);
+}
+
+TEST(Alt, SizeAccountsLandmarkVectors) {
+  const Graph g = graph::path_graph(50);
+  util::Rng lrng(4);
+  const AltOracle alt(g, 3, lrng);
+  EXPECT_EQ(alt.num_landmarks(), 3u);
+  EXPECT_EQ(alt.size_in_words(), 3u + 3u * 50);
+}
+
+TEST(Metrics, EccentricityOnPath) {
+  EXPECT_DOUBLE_EQ(eccentricity(graph::path_graph(5), 0), 4.0);
+  EXPECT_DOUBLE_EQ(eccentricity(graph::path_graph(5), 2), 2.0);
+}
+
+TEST(Metrics, DoubleSweepIsExactOnTrees) {
+  util::Rng rng(3);
+  const Graph g = graph::random_tree(60, rng);
+  util::Rng sweep_rng(1);
+  EXPECT_DOUBLE_EQ(diameter_lower_bound(g, sweep_rng), exact_diameter(g));
+}
+
+TEST(Metrics, ExactAspectRatioOnUnitPath) {
+  EXPECT_DOUBLE_EQ(exact_aspect_ratio(graph::path_graph(5)), 4.0);
+}
+
+TEST(Metrics, EstimateIsLowerBoundHere) {
+  const graph::GridGraph gg = graph::grid(6, 6);
+  util::Rng rng(9);
+  EXPECT_LE(aspect_ratio_estimate(gg.graph, rng),
+            exact_aspect_ratio(gg.graph) + 1e-9);
+}
+
+}  // namespace
+}  // namespace pathsep::sssp

@@ -1,0 +1,155 @@
+#include "treedec/tree_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "treedec/center.hpp"
+
+namespace pathsep::treedec {
+namespace {
+
+TEST(TreeDecomposition, PathGraphHasWidthOne) {
+  const Graph g = graph::path_graph(10);
+  const TreeDecomposition td = heuristic_decomposition(g);
+  std::string err;
+  EXPECT_TRUE(td.validate(g, &err)) << err;
+  EXPECT_EQ(td.width(), 1u);
+}
+
+TEST(TreeDecomposition, TreeHasWidthOne) {
+  util::Rng rng(1);
+  const Graph g = graph::random_tree(40, rng);
+  const TreeDecomposition td = heuristic_decomposition(g);
+  std::string err;
+  EXPECT_TRUE(td.validate(g, &err)) << err;
+  EXPECT_EQ(td.width(), 1u);
+}
+
+TEST(TreeDecomposition, CompleteGraphWidthIsNMinusOne) {
+  const Graph g = graph::complete_graph(5);
+  const TreeDecomposition td = heuristic_decomposition(g);
+  EXPECT_TRUE(td.validate(g));
+  EXPECT_EQ(td.width(), 4u);
+}
+
+TEST(TreeDecomposition, CycleHasWidthTwo) {
+  const Graph g = graph::cycle_graph(12);
+  const TreeDecomposition td = heuristic_decomposition(g);
+  EXPECT_TRUE(td.validate(g));
+  EXPECT_EQ(td.width(), 2u);
+}
+
+class KTreeWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KTreeWidth, MinDegreeIsExactOnKTrees) {
+  const std::size_t k = GetParam();
+  util::Rng rng(100 + k);
+  const Graph g = graph::random_ktree(50, k, rng);
+  const TreeDecomposition td = heuristic_decomposition(g);
+  std::string err;
+  EXPECT_TRUE(td.validate(g, &err)) << err;
+  EXPECT_EQ(td.width(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KTreeWidth, ::testing::Values(1, 2, 3, 5));
+
+TEST(TreeDecomposition, MinFillMatchesMinDegreeOnSmallKTrees) {
+  util::Rng rng(7);
+  const Graph g = graph::random_ktree(25, 2, rng);
+  const auto order = min_fill_order(g);
+  const TreeDecomposition td = from_elimination_order(g, order);
+  EXPECT_TRUE(td.validate(g));
+  EXPECT_EQ(td.width(), 2u);
+}
+
+TEST(TreeDecomposition, DisconnectedGraphStillValidates) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const TreeDecomposition td = heuristic_decomposition(g);
+  std::string err;
+  EXPECT_TRUE(td.validate(g, &err)) << err;
+}
+
+TEST(TreeDecomposition, ValidatorCatchesMissingVertex) {
+  const Graph g = graph::path_graph(3);
+  TreeDecomposition td;
+  td.bags = {{0, 1}};  // vertex 2 missing
+  td.adj = {{}};
+  std::string err;
+  EXPECT_FALSE(td.validate(g, &err));
+  EXPECT_NE(err.find("no bag"), std::string::npos);
+}
+
+TEST(TreeDecomposition, ValidatorCatchesMissingEdge) {
+  const Graph g = graph::path_graph(3);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {2}};
+  td.adj = {{1}, {0}};
+  std::string err;
+  EXPECT_FALSE(td.validate(g, &err));
+  EXPECT_NE(err.find("edge"), std::string::npos);
+}
+
+TEST(TreeDecomposition, ValidatorCatchesBrokenSubtree) {
+  const Graph g = graph::path_graph(3);
+  TreeDecomposition td;
+  // Vertex 0 appears in bags 0 and 2, which are not adjacent.
+  td.bags = {{0, 1}, {1, 2}, {0, 2}};
+  td.adj = {{1}, {0, 2}, {1}};
+  std::string err;
+  EXPECT_FALSE(td.validate(g, &err));
+  EXPECT_NE(err.find("subtree"), std::string::npos);
+}
+
+TEST(CenterBag, HalvesThePath) {
+  const Graph g = graph::path_graph(33);
+  const TreeDecomposition td = heuristic_decomposition(g);
+  const int bag = center_bag(td, g);
+  std::vector<bool> removed(33, false);
+  for (Vertex v : td.bags[static_cast<std::size_t>(bag)]) removed[v] = true;
+  const graph::Components comps = graph::connected_components(g, removed);
+  EXPECT_LE(comps.largest(), 33u / 2);
+}
+
+class CenterBagSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CenterBagSweep, LemmaOneHoldsOnKTrees) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 64 + 16 * GetParam();
+  const Graph g = graph::random_ktree(n, 3, rng);
+  const TreeDecomposition td = heuristic_decomposition(g);
+  const int bag = center_bag(td, g);
+  std::vector<bool> removed(n, false);
+  for (Vertex v : td.bags[static_cast<std::size_t>(bag)]) removed[v] = true;
+  const graph::Components comps = graph::connected_components(g, removed);
+  if (comps.count() > 0) EXPECT_LE(comps.largest(), n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CenterBagSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CenterBag, ThrowsOnEmptyDecomposition) {
+  const Graph g = graph::path_graph(2);
+  TreeDecomposition td;
+  EXPECT_THROW(center_bag(td, g), std::invalid_argument);
+}
+
+TEST(EliminationOrders, ArePermutations) {
+  util::Rng rng(4);
+  const Graph g = graph::gnm_random(30, 70, rng);
+  for (const auto& order : {min_degree_order(g), min_fill_order(g)}) {
+    std::vector<bool> seen(30, false);
+    for (Vertex v : order) {
+      EXPECT_LT(v, 30u);
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+    EXPECT_EQ(order.size(), 30u);
+  }
+}
+
+}  // namespace
+}  // namespace pathsep::treedec

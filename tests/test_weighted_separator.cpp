@@ -1,0 +1,150 @@
+#include "separator/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "treedec/center.hpp"
+
+namespace pathsep::separator {
+namespace {
+
+std::vector<double> ones(std::size_t n) { return std::vector<double>(n, 1.0); }
+
+std::vector<Vertex> identity_ids(std::size_t n) {
+  std::vector<Vertex> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<Vertex>(i);
+  return ids;
+}
+
+TEST(WeightedTreeCentroidTest, AllOnesMatchesUnweightedCentroid) {
+  const Graph g = graph::path_graph(9);
+  const auto ids = identity_ids(9);
+  const auto w = ones(9);
+  const PathSeparator s = WeightedTreeCentroid().find_weighted(g, ids, w);
+  EXPECT_EQ(s.stages[0][0], (std::vector<Vertex>{4}));
+}
+
+TEST(WeightedTreeCentroidTest, HeavyLeafPullsTheCentroid) {
+  // Path 0-1-...-8 with all weight on vertex 0: centroid must sit at 0 or 1
+  // so that no component carries more than half the weight.
+  const Graph g = graph::path_graph(9);
+  std::vector<double> w(9, 0.01);
+  w[0] = 100.0;
+  const PathSeparator s =
+      WeightedTreeCentroid().find_weighted(g, identity_ids(9), w);
+  const Vertex centroid = s.stages[0][0][0];
+  EXPECT_LE(centroid, 1u);
+  const auto report = validate_weighted(g, s, w);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(WeightedTreeCentroidTest, ValidOnRandomTreesWithRandomWeights) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    util::Rng rng(seed);
+    const Graph g = graph::random_tree(120, rng);
+    std::vector<double> w(120);
+    for (auto& x : w) x = rng.next_double(0.0, 5.0);
+    const PathSeparator s =
+        WeightedTreeCentroid().find_weighted(g, identity_ids(120), w);
+    const auto report = validate_weighted(g, s, w);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.path_count, 1u);
+  }
+}
+
+TEST(WeightedPlanarCycleTest, BalancesSkewedWeights) {
+  util::Rng rng(5);
+  const auto gg = graph::random_apollonian(150, rng);
+  // Concentrate weight on a random half of the vertices.
+  std::vector<double> w(150, 0.1);
+  for (int i = 0; i < 30; ++i) w[rng.next_below(150)] += 10.0;
+  WeightedPlanarCycle finder(gg.positions);
+  const PathSeparator s =
+      finder.find_weighted(gg.graph, identity_ids(150), w);
+  EXPECT_LE(s.path_count(), 3u);
+  const auto report = validate_weighted(gg.graph, s, w);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_LE(report.largest_component_weight, report.total_weight / 2 + 1e-9);
+}
+
+TEST(WeightedPlanarCycleTest, ZeroWeightVerticesAreFreeRiders) {
+  util::Rng rng(7);
+  const auto gg = graph::random_apollonian(80, rng);
+  // Only vertex 5 and 6 carry weight: any separator that puts them in
+  // different components (or removes them) is weighted-balanced.
+  std::vector<double> w(80, 0.0);
+  w[5] = 1.0;
+  w[6] = 1.0;
+  WeightedPlanarCycle finder(gg.positions);
+  const PathSeparator s = finder.find_weighted(gg.graph, identity_ids(80), w);
+  const auto report = validate_weighted(gg.graph, s, w);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(WeightedTreewidthBagTest, KTreeWithSkewedWeights) {
+  util::Rng rng(9);
+  const Graph g = graph::random_ktree(100, 3, rng);
+  std::vector<double> w(100, 1.0);
+  w[0] = 50.0;  // one hot vertex
+  const PathSeparator s =
+      WeightedTreewidthBag().find_weighted(g, identity_ids(100), w);
+  EXPECT_LE(s.path_count(), 4u);
+  const auto report = validate_weighted(g, s, w);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(WeightedCenterBag, HotVertexEndsUpInOrNextToTheBag) {
+  // Weighted Lemma 1: with all weight on one vertex, every component after
+  // removing the center bag must avoid that vertex's weight, i.e. the hot
+  // vertex is inside the bag or its component weight is within total/2.
+  const Graph g = graph::path_graph(17);
+  const treedec::TreeDecomposition td = treedec::heuristic_decomposition(g);
+  std::vector<double> w(17, 0.0);
+  w[16] = 8.0;
+  const int bag = treedec::center_bag(td, g, w);
+  const auto& bag_vertices = td.bags[static_cast<std::size_t>(bag)];
+  // The center bag must make components of weight <= 4; only removing
+  // something at/after vertex 15 can separate 16's weight... but weight 8
+  // vs total 8 means the hot vertex itself must be IN the bag.
+  EXPECT_TRUE(std::binary_search(bag_vertices.begin(), bag_vertices.end(),
+                                 Vertex{16}));
+}
+
+TEST(ValidateWeighted, RejectsUnbalancedAndBadWeights) {
+  const Graph g = graph::path_graph(9);
+  PathSeparator s;
+  s.stages.push_back({{1}});
+  std::vector<double> w(9, 1.0);
+  const auto report = validate_weighted(g, s, w);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("weighted P3"), std::string::npos);
+
+  std::vector<double> bad(9, 1.0);
+  bad[3] = -1.0;
+  PathSeparator mid;
+  mid.stages.push_back({{4}});
+  EXPECT_THROW(validate_weighted(g, mid, bad), std::invalid_argument);
+  std::vector<double> wrong_size(3, 1.0);
+  EXPECT_THROW(validate_weighted(g, mid, wrong_size), std::invalid_argument);
+}
+
+TEST(ValidateWeighted, StillChecksP1) {
+  const Graph g = graph::cycle_graph(4);
+  PathSeparator s;
+  s.stages.push_back({{0, 1, 2, 3}});  // not a shortest path
+  const auto w = ones(4);
+  const auto report = validate_weighted(g, s, w);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("shortest"), std::string::npos);
+}
+
+TEST(WeightedFinders, RejectWrongSizeWeights) {
+  const Graph g = graph::path_graph(5);
+  const auto ids = identity_ids(5);
+  const std::vector<double> w(3, 1.0);
+  EXPECT_THROW(WeightedTreeCentroid().find_weighted(g, ids, w),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pathsep::separator
