@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_doubling.dir/bench_doubling.cpp.o"
+  "CMakeFiles/bench_doubling.dir/bench_doubling.cpp.o.d"
+  "bench_doubling"
+  "bench_doubling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doubling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

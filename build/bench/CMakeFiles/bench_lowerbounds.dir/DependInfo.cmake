@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_lowerbounds.cpp" "bench/CMakeFiles/bench_lowerbounds.dir/bench_lowerbounds.cpp.o" "gcc" "bench/CMakeFiles/bench_lowerbounds.dir/bench_lowerbounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_smallworld.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_doubling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_minorfree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_separator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_treedec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

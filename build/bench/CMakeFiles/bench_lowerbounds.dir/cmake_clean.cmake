@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lowerbounds.dir/bench_lowerbounds.cpp.o"
+  "CMakeFiles/bench_lowerbounds.dir/bench_lowerbounds.cpp.o.d"
+  "bench_lowerbounds"
+  "bench_lowerbounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowerbounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

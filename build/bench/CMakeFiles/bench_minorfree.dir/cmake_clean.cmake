@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minorfree.dir/bench_minorfree.cpp.o"
+  "CMakeFiles/bench_minorfree.dir/bench_minorfree.cpp.o.d"
+  "bench_minorfree"
+  "bench_minorfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minorfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

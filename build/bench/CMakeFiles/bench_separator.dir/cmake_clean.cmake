@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_separator.dir/bench_separator.cpp.o"
+  "CMakeFiles/bench_separator.dir/bench_separator.cpp.o.d"
+  "bench_separator"
+  "bench_separator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_object_location.dir/p2p_object_location.cpp.o"
+  "CMakeFiles/p2p_object_location.dir/p2p_object_location.cpp.o.d"
+  "p2p_object_location"
+  "p2p_object_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_object_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separator_tool.dir/separator_tool.cpp.o"
+  "CMakeFiles/separator_tool.dir/separator_tool.cpp.o.d"
+  "separator_tool"
+  "separator_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separator_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

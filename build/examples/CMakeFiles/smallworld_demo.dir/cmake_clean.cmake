@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smallworld_demo.dir/smallworld_demo.cpp.o"
+  "CMakeFiles/smallworld_demo.dir/smallworld_demo.cpp.o.d"
+  "smallworld_demo"
+  "smallworld_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smallworld_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

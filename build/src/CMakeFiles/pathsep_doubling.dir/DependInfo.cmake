@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doubling/dimension.cpp" "src/CMakeFiles/pathsep_doubling.dir/doubling/dimension.cpp.o" "gcc" "src/CMakeFiles/pathsep_doubling.dir/doubling/dimension.cpp.o.d"
+  "/root/repo/src/doubling/doubling_oracle.cpp" "src/CMakeFiles/pathsep_doubling.dir/doubling/doubling_oracle.cpp.o" "gcc" "src/CMakeFiles/pathsep_doubling.dir/doubling/doubling_oracle.cpp.o.d"
+  "/root/repo/src/doubling/doubling_separator.cpp" "src/CMakeFiles/pathsep_doubling.dir/doubling/doubling_separator.cpp.o" "gcc" "src/CMakeFiles/pathsep_doubling.dir/doubling/doubling_separator.cpp.o.d"
+  "/root/repo/src/doubling/nets.cpp" "src/CMakeFiles/pathsep_doubling.dir/doubling/nets.cpp.o" "gcc" "src/CMakeFiles/pathsep_doubling.dir/doubling/nets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

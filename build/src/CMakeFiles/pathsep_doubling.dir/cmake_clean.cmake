@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_doubling.dir/doubling/dimension.cpp.o"
+  "CMakeFiles/pathsep_doubling.dir/doubling/dimension.cpp.o.d"
+  "CMakeFiles/pathsep_doubling.dir/doubling/doubling_oracle.cpp.o"
+  "CMakeFiles/pathsep_doubling.dir/doubling/doubling_oracle.cpp.o.d"
+  "CMakeFiles/pathsep_doubling.dir/doubling/doubling_separator.cpp.o"
+  "CMakeFiles/pathsep_doubling.dir/doubling/doubling_separator.cpp.o.d"
+  "CMakeFiles/pathsep_doubling.dir/doubling/nets.cpp.o"
+  "CMakeFiles/pathsep_doubling.dir/doubling/nets.cpp.o.d"
+  "libpathsep_doubling.a"
+  "libpathsep_doubling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_doubling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

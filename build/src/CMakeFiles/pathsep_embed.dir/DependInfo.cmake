@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/dual.cpp" "src/CMakeFiles/pathsep_embed.dir/embed/dual.cpp.o" "gcc" "src/CMakeFiles/pathsep_embed.dir/embed/dual.cpp.o.d"
+  "/root/repo/src/embed/faces.cpp" "src/CMakeFiles/pathsep_embed.dir/embed/faces.cpp.o" "gcc" "src/CMakeFiles/pathsep_embed.dir/embed/faces.cpp.o.d"
+  "/root/repo/src/embed/rotation.cpp" "src/CMakeFiles/pathsep_embed.dir/embed/rotation.cpp.o" "gcc" "src/CMakeFiles/pathsep_embed.dir/embed/rotation.cpp.o.d"
+  "/root/repo/src/embed/triangulate.cpp" "src/CMakeFiles/pathsep_embed.dir/embed/triangulate.cpp.o" "gcc" "src/CMakeFiles/pathsep_embed.dir/embed/triangulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

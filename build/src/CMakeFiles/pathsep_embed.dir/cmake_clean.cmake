@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_embed.dir/embed/dual.cpp.o"
+  "CMakeFiles/pathsep_embed.dir/embed/dual.cpp.o.d"
+  "CMakeFiles/pathsep_embed.dir/embed/faces.cpp.o"
+  "CMakeFiles/pathsep_embed.dir/embed/faces.cpp.o.d"
+  "CMakeFiles/pathsep_embed.dir/embed/rotation.cpp.o"
+  "CMakeFiles/pathsep_embed.dir/embed/rotation.cpp.o.d"
+  "CMakeFiles/pathsep_embed.dir/embed/triangulate.cpp.o"
+  "CMakeFiles/pathsep_embed.dir/embed/triangulate.cpp.o.d"
+  "libpathsep_embed.a"
+  "libpathsep_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

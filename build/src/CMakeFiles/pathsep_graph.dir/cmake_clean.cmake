@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_graph.dir/graph/connectivity.cpp.o"
+  "CMakeFiles/pathsep_graph.dir/graph/connectivity.cpp.o.d"
+  "CMakeFiles/pathsep_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/pathsep_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/pathsep_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/pathsep_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/pathsep_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/pathsep_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/pathsep_graph.dir/graph/subgraph.cpp.o"
+  "CMakeFiles/pathsep_graph.dir/graph/subgraph.cpp.o.d"
+  "libpathsep_graph.a"
+  "libpathsep_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_hierarchy.dir/hierarchy/decomposition_tree.cpp.o"
+  "CMakeFiles/pathsep_hierarchy.dir/hierarchy/decomposition_tree.cpp.o.d"
+  "libpathsep_hierarchy.a"
+  "libpathsep_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minorfree/almost_embedding.cpp" "src/CMakeFiles/pathsep_minorfree.dir/minorfree/almost_embedding.cpp.o" "gcc" "src/CMakeFiles/pathsep_minorfree.dir/minorfree/almost_embedding.cpp.o.d"
+  "/root/repo/src/minorfree/apex_separator.cpp" "src/CMakeFiles/pathsep_minorfree.dir/minorfree/apex_separator.cpp.o" "gcc" "src/CMakeFiles/pathsep_minorfree.dir/minorfree/apex_separator.cpp.o.d"
+  "/root/repo/src/minorfree/vortex.cpp" "src/CMakeFiles/pathsep_minorfree.dir/minorfree/vortex.cpp.o" "gcc" "src/CMakeFiles/pathsep_minorfree.dir/minorfree/vortex.cpp.o.d"
+  "/root/repo/src/minorfree/vortex_path.cpp" "src/CMakeFiles/pathsep_minorfree.dir/minorfree/vortex_path.cpp.o" "gcc" "src/CMakeFiles/pathsep_minorfree.dir/minorfree/vortex_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_separator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_treedec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

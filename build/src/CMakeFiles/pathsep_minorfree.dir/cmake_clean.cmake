@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_minorfree.dir/minorfree/almost_embedding.cpp.o"
+  "CMakeFiles/pathsep_minorfree.dir/minorfree/almost_embedding.cpp.o.d"
+  "CMakeFiles/pathsep_minorfree.dir/minorfree/apex_separator.cpp.o"
+  "CMakeFiles/pathsep_minorfree.dir/minorfree/apex_separator.cpp.o.d"
+  "CMakeFiles/pathsep_minorfree.dir/minorfree/vortex.cpp.o"
+  "CMakeFiles/pathsep_minorfree.dir/minorfree/vortex.cpp.o.d"
+  "CMakeFiles/pathsep_minorfree.dir/minorfree/vortex_path.cpp.o"
+  "CMakeFiles/pathsep_minorfree.dir/minorfree/vortex_path.cpp.o.d"
+  "libpathsep_minorfree.a"
+  "libpathsep_minorfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_minorfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

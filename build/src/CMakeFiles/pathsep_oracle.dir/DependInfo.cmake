@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/exact_oracle.cpp" "src/CMakeFiles/pathsep_oracle.dir/oracle/exact_oracle.cpp.o" "gcc" "src/CMakeFiles/pathsep_oracle.dir/oracle/exact_oracle.cpp.o.d"
+  "/root/repo/src/oracle/labels.cpp" "src/CMakeFiles/pathsep_oracle.dir/oracle/labels.cpp.o" "gcc" "src/CMakeFiles/pathsep_oracle.dir/oracle/labels.cpp.o.d"
+  "/root/repo/src/oracle/path_oracle.cpp" "src/CMakeFiles/pathsep_oracle.dir/oracle/path_oracle.cpp.o" "gcc" "src/CMakeFiles/pathsep_oracle.dir/oracle/path_oracle.cpp.o.d"
+  "/root/repo/src/oracle/portals.cpp" "src/CMakeFiles/pathsep_oracle.dir/oracle/portals.cpp.o" "gcc" "src/CMakeFiles/pathsep_oracle.dir/oracle/portals.cpp.o.d"
+  "/root/repo/src/oracle/serialize.cpp" "src/CMakeFiles/pathsep_oracle.dir/oracle/serialize.cpp.o" "gcc" "src/CMakeFiles/pathsep_oracle.dir/oracle/serialize.cpp.o.d"
+  "/root/repo/src/oracle/thorup_zwick.cpp" "src/CMakeFiles/pathsep_oracle.dir/oracle/thorup_zwick.cpp.o" "gcc" "src/CMakeFiles/pathsep_oracle.dir/oracle/thorup_zwick.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_separator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_treedec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_oracle.dir/oracle/exact_oracle.cpp.o"
+  "CMakeFiles/pathsep_oracle.dir/oracle/exact_oracle.cpp.o.d"
+  "CMakeFiles/pathsep_oracle.dir/oracle/labels.cpp.o"
+  "CMakeFiles/pathsep_oracle.dir/oracle/labels.cpp.o.d"
+  "CMakeFiles/pathsep_oracle.dir/oracle/path_oracle.cpp.o"
+  "CMakeFiles/pathsep_oracle.dir/oracle/path_oracle.cpp.o.d"
+  "CMakeFiles/pathsep_oracle.dir/oracle/portals.cpp.o"
+  "CMakeFiles/pathsep_oracle.dir/oracle/portals.cpp.o.d"
+  "CMakeFiles/pathsep_oracle.dir/oracle/serialize.cpp.o"
+  "CMakeFiles/pathsep_oracle.dir/oracle/serialize.cpp.o.d"
+  "CMakeFiles/pathsep_oracle.dir/oracle/thorup_zwick.cpp.o"
+  "CMakeFiles/pathsep_oracle.dir/oracle/thorup_zwick.cpp.o.d"
+  "libpathsep_oracle.a"
+  "libpathsep_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

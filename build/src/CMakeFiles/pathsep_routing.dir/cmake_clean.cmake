@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_routing.dir/routing/simulator.cpp.o"
+  "CMakeFiles/pathsep_routing.dir/routing/simulator.cpp.o.d"
+  "CMakeFiles/pathsep_routing.dir/routing/tables.cpp.o"
+  "CMakeFiles/pathsep_routing.dir/routing/tables.cpp.o.d"
+  "libpathsep_routing.a"
+  "libpathsep_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

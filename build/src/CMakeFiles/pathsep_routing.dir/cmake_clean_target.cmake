@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpathsep_routing.a"
+)

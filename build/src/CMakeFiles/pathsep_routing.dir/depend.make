@@ -1,0 +1,2 @@
+# Empty dependencies file for pathsep_routing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/separator/dispatch.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/dispatch.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/dispatch.cpp.o.d"
+  "/root/repo/src/separator/greedy_paths.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/greedy_paths.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/greedy_paths.cpp.o.d"
+  "/root/repo/src/separator/grid_row.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/grid_row.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/grid_row.cpp.o.d"
+  "/root/repo/src/separator/path_separator.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/path_separator.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/path_separator.cpp.o.d"
+  "/root/repo/src/separator/planar_cycle.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/planar_cycle.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/planar_cycle.cpp.o.d"
+  "/root/repo/src/separator/tree_centroid.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/tree_centroid.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/tree_centroid.cpp.o.d"
+  "/root/repo/src/separator/treewidth_bag.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/treewidth_bag.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/treewidth_bag.cpp.o.d"
+  "/root/repo/src/separator/validate.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/validate.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/validate.cpp.o.d"
+  "/root/repo/src/separator/weighted.cpp" "src/CMakeFiles/pathsep_separator.dir/separator/weighted.cpp.o" "gcc" "src/CMakeFiles/pathsep_separator.dir/separator/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_treedec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

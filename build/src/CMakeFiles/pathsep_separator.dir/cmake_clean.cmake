@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_separator.dir/separator/dispatch.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/dispatch.cpp.o.d"
+  "CMakeFiles/pathsep_separator.dir/separator/greedy_paths.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/greedy_paths.cpp.o.d"
+  "CMakeFiles/pathsep_separator.dir/separator/grid_row.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/grid_row.cpp.o.d"
+  "CMakeFiles/pathsep_separator.dir/separator/path_separator.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/path_separator.cpp.o.d"
+  "CMakeFiles/pathsep_separator.dir/separator/planar_cycle.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/planar_cycle.cpp.o.d"
+  "CMakeFiles/pathsep_separator.dir/separator/tree_centroid.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/tree_centroid.cpp.o.d"
+  "CMakeFiles/pathsep_separator.dir/separator/treewidth_bag.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/treewidth_bag.cpp.o.d"
+  "CMakeFiles/pathsep_separator.dir/separator/validate.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/validate.cpp.o.d"
+  "CMakeFiles/pathsep_separator.dir/separator/weighted.cpp.o"
+  "CMakeFiles/pathsep_separator.dir/separator/weighted.cpp.o.d"
+  "libpathsep_separator.a"
+  "libpathsep_separator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_separator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smallworld/augmentation.cpp" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/augmentation.cpp.o" "gcc" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/augmentation.cpp.o.d"
+  "/root/repo/src/smallworld/greedy_router.cpp" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/greedy_router.cpp.o" "gcc" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/greedy_router.cpp.o.d"
+  "/root/repo/src/smallworld/kleinberg.cpp" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/kleinberg.cpp.o" "gcc" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/kleinberg.cpp.o.d"
+  "/root/repo/src/smallworld/landmarks.cpp" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/landmarks.cpp.o" "gcc" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/landmarks.cpp.o.d"
+  "/root/repo/src/smallworld/nearest_contact.cpp" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/nearest_contact.cpp.o" "gcc" "src/CMakeFiles/pathsep_smallworld.dir/smallworld/nearest_contact.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_separator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_treedec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

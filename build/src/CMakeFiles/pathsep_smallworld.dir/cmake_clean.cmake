@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/augmentation.cpp.o"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/augmentation.cpp.o.d"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/greedy_router.cpp.o"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/greedy_router.cpp.o.d"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/kleinberg.cpp.o"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/kleinberg.cpp.o.d"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/landmarks.cpp.o"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/landmarks.cpp.o.d"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/nearest_contact.cpp.o"
+  "CMakeFiles/pathsep_smallworld.dir/smallworld/nearest_contact.cpp.o.d"
+  "libpathsep_smallworld.a"
+  "libpathsep_smallworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_smallworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

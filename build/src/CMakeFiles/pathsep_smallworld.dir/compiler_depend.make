@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pathsep_smallworld.
+# This may be replaced when dependencies are built.

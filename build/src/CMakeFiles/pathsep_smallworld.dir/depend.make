@@ -1,0 +1,2 @@
+# Empty dependencies file for pathsep_smallworld.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sssp/alt.cpp" "src/CMakeFiles/pathsep_sssp.dir/sssp/alt.cpp.o" "gcc" "src/CMakeFiles/pathsep_sssp.dir/sssp/alt.cpp.o.d"
+  "/root/repo/src/sssp/apsp.cpp" "src/CMakeFiles/pathsep_sssp.dir/sssp/apsp.cpp.o" "gcc" "src/CMakeFiles/pathsep_sssp.dir/sssp/apsp.cpp.o.d"
+  "/root/repo/src/sssp/bfs.cpp" "src/CMakeFiles/pathsep_sssp.dir/sssp/bfs.cpp.o" "gcc" "src/CMakeFiles/pathsep_sssp.dir/sssp/bfs.cpp.o.d"
+  "/root/repo/src/sssp/bidirectional.cpp" "src/CMakeFiles/pathsep_sssp.dir/sssp/bidirectional.cpp.o" "gcc" "src/CMakeFiles/pathsep_sssp.dir/sssp/bidirectional.cpp.o.d"
+  "/root/repo/src/sssp/dijkstra.cpp" "src/CMakeFiles/pathsep_sssp.dir/sssp/dijkstra.cpp.o" "gcc" "src/CMakeFiles/pathsep_sssp.dir/sssp/dijkstra.cpp.o.d"
+  "/root/repo/src/sssp/metrics.cpp" "src/CMakeFiles/pathsep_sssp.dir/sssp/metrics.cpp.o" "gcc" "src/CMakeFiles/pathsep_sssp.dir/sssp/metrics.cpp.o.d"
+  "/root/repo/src/sssp/sp_tree.cpp" "src/CMakeFiles/pathsep_sssp.dir/sssp/sp_tree.cpp.o" "gcc" "src/CMakeFiles/pathsep_sssp.dir/sssp/sp_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_sssp.dir/sssp/alt.cpp.o"
+  "CMakeFiles/pathsep_sssp.dir/sssp/alt.cpp.o.d"
+  "CMakeFiles/pathsep_sssp.dir/sssp/apsp.cpp.o"
+  "CMakeFiles/pathsep_sssp.dir/sssp/apsp.cpp.o.d"
+  "CMakeFiles/pathsep_sssp.dir/sssp/bfs.cpp.o"
+  "CMakeFiles/pathsep_sssp.dir/sssp/bfs.cpp.o.d"
+  "CMakeFiles/pathsep_sssp.dir/sssp/bidirectional.cpp.o"
+  "CMakeFiles/pathsep_sssp.dir/sssp/bidirectional.cpp.o.d"
+  "CMakeFiles/pathsep_sssp.dir/sssp/dijkstra.cpp.o"
+  "CMakeFiles/pathsep_sssp.dir/sssp/dijkstra.cpp.o.d"
+  "CMakeFiles/pathsep_sssp.dir/sssp/metrics.cpp.o"
+  "CMakeFiles/pathsep_sssp.dir/sssp/metrics.cpp.o.d"
+  "CMakeFiles/pathsep_sssp.dir/sssp/sp_tree.cpp.o"
+  "CMakeFiles/pathsep_sssp.dir/sssp/sp_tree.cpp.o.d"
+  "libpathsep_sssp.a"
+  "libpathsep_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/treedec/center.cpp" "src/CMakeFiles/pathsep_treedec.dir/treedec/center.cpp.o" "gcc" "src/CMakeFiles/pathsep_treedec.dir/treedec/center.cpp.o.d"
+  "/root/repo/src/treedec/clique_weight.cpp" "src/CMakeFiles/pathsep_treedec.dir/treedec/clique_weight.cpp.o" "gcc" "src/CMakeFiles/pathsep_treedec.dir/treedec/clique_weight.cpp.o.d"
+  "/root/repo/src/treedec/elimination.cpp" "src/CMakeFiles/pathsep_treedec.dir/treedec/elimination.cpp.o" "gcc" "src/CMakeFiles/pathsep_treedec.dir/treedec/elimination.cpp.o.d"
+  "/root/repo/src/treedec/tree_decomposition.cpp" "src/CMakeFiles/pathsep_treedec.dir/treedec/tree_decomposition.cpp.o" "gcc" "src/CMakeFiles/pathsep_treedec.dir/treedec/tree_decomposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pathsep_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pathsep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_treedec.dir/treedec/center.cpp.o"
+  "CMakeFiles/pathsep_treedec.dir/treedec/center.cpp.o.d"
+  "CMakeFiles/pathsep_treedec.dir/treedec/clique_weight.cpp.o"
+  "CMakeFiles/pathsep_treedec.dir/treedec/clique_weight.cpp.o.d"
+  "CMakeFiles/pathsep_treedec.dir/treedec/elimination.cpp.o"
+  "CMakeFiles/pathsep_treedec.dir/treedec/elimination.cpp.o.d"
+  "CMakeFiles/pathsep_treedec.dir/treedec/tree_decomposition.cpp.o"
+  "CMakeFiles/pathsep_treedec.dir/treedec/tree_decomposition.cpp.o.d"
+  "libpathsep_treedec.a"
+  "libpathsep_treedec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_treedec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsep_util.dir/util/args.cpp.o"
+  "CMakeFiles/pathsep_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/pathsep_util.dir/util/rng.cpp.o"
+  "CMakeFiles/pathsep_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/pathsep_util.dir/util/stats.cpp.o"
+  "CMakeFiles/pathsep_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/pathsep_util.dir/util/table.cpp.o"
+  "CMakeFiles/pathsep_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/pathsep_util.dir/util/timer.cpp.o"
+  "CMakeFiles/pathsep_util.dir/util/timer.cpp.o.d"
+  "libpathsep_util.a"
+  "libpathsep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

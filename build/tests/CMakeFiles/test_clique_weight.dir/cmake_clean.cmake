@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique_weight.dir/test_clique_weight.cpp.o"
+  "CMakeFiles/test_clique_weight.dir/test_clique_weight.cpp.o.d"
+  "test_clique_weight"
+  "test_clique_weight.pdb"
+  "test_clique_weight[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connectivity_subgraph.dir/test_connectivity_subgraph.cpp.o"
+  "CMakeFiles/test_connectivity_subgraph.dir/test_connectivity_subgraph.cpp.o.d"
+  "test_connectivity_subgraph"
+  "test_connectivity_subgraph.pdb"
+  "test_connectivity_subgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connectivity_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doubling.dir/test_doubling.cpp.o"
+  "CMakeFiles/test_doubling.dir/test_doubling.cpp.o.d"
+  "test_doubling"
+  "test_doubling.pdb"
+  "test_doubling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doubling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

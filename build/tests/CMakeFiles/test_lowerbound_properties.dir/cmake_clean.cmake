@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowerbound_properties.dir/test_lowerbound_properties.cpp.o"
+  "CMakeFiles/test_lowerbound_properties.dir/test_lowerbound_properties.cpp.o.d"
+  "test_lowerbound_properties"
+  "test_lowerbound_properties.pdb"
+  "test_lowerbound_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowerbound_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

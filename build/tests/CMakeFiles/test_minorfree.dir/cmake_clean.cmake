@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minorfree.dir/test_minorfree.cpp.o"
+  "CMakeFiles/test_minorfree.dir/test_minorfree.cpp.o.d"
+  "test_minorfree"
+  "test_minorfree.pdb"
+  "test_minorfree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minorfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portals.dir/test_portals.cpp.o"
+  "CMakeFiles/test_portals.dir/test_portals.cpp.o.d"
+  "test_portals"
+  "test_portals.pdb"
+  "test_portals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

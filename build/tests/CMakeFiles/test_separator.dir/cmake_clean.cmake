@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_separator.dir/test_separator.cpp.o"
+  "CMakeFiles/test_separator.dir/test_separator.cpp.o.d"
+  "test_separator"
+  "test_separator.pdb"
+  "test_separator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_separator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smallworld.dir/test_smallworld.cpp.o"
+  "CMakeFiles/test_smallworld.dir/test_smallworld.cpp.o.d"
+  "test_smallworld"
+  "test_smallworld.pdb"
+  "test_smallworld[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smallworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

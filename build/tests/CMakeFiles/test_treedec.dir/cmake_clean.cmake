@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_treedec.dir/test_treedec.cpp.o"
+  "CMakeFiles/test_treedec.dir/test_treedec.cpp.o.d"
+  "test_treedec"
+  "test_treedec.pdb"
+  "test_treedec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_treedec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_separator.dir/test_weighted_separator.cpp.o"
+  "CMakeFiles/test_weighted_separator.dir/test_weighted_separator.cpp.o.d"
+  "test_weighted_separator"
+  "test_weighted_separator.pdb"
+  "test_weighted_separator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_separator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_connectivity_subgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_sssp[1]_include.cmake")
+include("/root/repo/build/tests/test_embed[1]_include.cmake")
+include("/root/repo/build/tests/test_treedec[1]_include.cmake")
+include("/root/repo/build/tests/test_separator[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_portals[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_smallworld[1]_include.cmake")
+include("/root/repo/build/tests/test_doubling[1]_include.cmake")
+include("/root/repo/build/tests/test_weighted_separator[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_clique_weight[1]_include.cmake")
+include("/root/repo/build/tests/test_minorfree[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
