@@ -1,0 +1,191 @@
+// Query server: build or load a distance-oracle snapshot, then serve
+// (u, v) distance queries through the concurrent batched QueryEngine under
+// a closed-loop multi-threaded load generator.
+//
+//   # build from a planar grid, save the snapshot, serve for 3 seconds
+//   ./query_server --side=64 --eps=0.25 --save=grid.snapshot --duration=3
+//
+//   # cold-start from the snapshot (no rebuild) and serve again
+//   ./query_server --load=grid.snapshot --duration=3
+//
+//   # prove the loaded oracle is bit-identical to a fresh build
+//   ./query_server --load=grid.snapshot --side=64 --eps=0.25 --verify
+//
+// Flags: --side (grid side length), --eps, --threads (0 = all cores,
+// PATHSEP_THREADS honored), --clients (load-generator threads), --batch
+// (queries per client batch), --duration (seconds), --pairs (distinct query
+// pairs), --zipf (skew exponent; 0 = uniform), --cache (entries; 0
+// disables), --save/--load/--verify.
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "hierarchy/decomposition_tree.hpp"
+#include "oracle/serialize.hpp"
+#include "separator/finders.hpp"
+#include "service/query_engine.hpp"
+#include "service/snapshot.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace pathsep;
+
+namespace {
+
+oracle::PathOracle build_grid_oracle(std::size_t side, double eps) {
+  const graph::GridGraph gg = graph::grid(side, side);
+  const hierarchy::DecompositionTree tree(
+      gg.graph, separator::GridLineSeparator(side, side));
+  return oracle::PathOracle(tree, eps);
+}
+
+}  // namespace
+
+namespace {
+
+int run(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const auto side = static_cast<std::size_t>(args.get_int("side", 64));
+  const double eps = args.get_double("eps", 0.25);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  const auto clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 512));
+  const double duration = args.get_double("duration", 3.0);
+  const auto pairs = static_cast<std::size_t>(args.get_int("pairs", 100000));
+  const double zipf_s = args.get_double("zipf", 1.1);
+  const auto cache = static_cast<std::size_t>(args.get_int("cache", 1 << 16));
+  const std::string save_path = args.get("save");
+  const std::string load_path = args.get("load");
+  const bool verify = args.get_bool("verify");
+
+  // 1. Obtain the oracle: cold-start from disk, or build from the grid.
+  std::shared_ptr<const oracle::PathOracle> snapshot;
+  if (!load_path.empty()) {
+    util::Timer timer;
+    snapshot = std::make_shared<const oracle::PathOracle>(
+        service::load_snapshot(load_path));
+    std::printf("loaded %s: %zu vertices, eps=%.3f in %.3fs (no rebuild)\n",
+                load_path.c_str(), snapshot->num_vertices(),
+                snapshot->epsilon(), timer.elapsed_seconds());
+  } else {
+    util::Timer timer;
+    snapshot = std::make_shared<const oracle::PathOracle>(
+        build_grid_oracle(side, eps));
+    std::printf("built %zux%zu grid oracle: %zu vertices, eps=%.3f in %.3fs\n",
+                side, side, snapshot->num_vertices(), snapshot->epsilon(),
+                timer.elapsed_seconds());
+  }
+
+  if (!save_path.empty()) {
+    util::Timer timer;
+    service::save_snapshot(*snapshot, save_path);
+    std::printf("saved snapshot to %s (validated round-trip) in %.3fs\n",
+                save_path.c_str(), timer.elapsed_seconds());
+  }
+
+  // 2. --verify: rebuild fresh and demand bit-identical labels and answers.
+  if (verify) {
+    const oracle::PathOracle fresh = build_grid_oracle(side, eps);
+    if (fresh.num_vertices() != snapshot->num_vertices() ||
+        fresh.epsilon() != snapshot->epsilon()) {
+      std::printf("VERIFY FAILED: header mismatch\n");
+      return 1;
+    }
+    for (std::size_t v = 0; v < fresh.num_vertices(); ++v)
+      if (oracle::serialize_label(fresh.label(static_cast<graph::Vertex>(v))) !=
+          oracle::serialize_label(
+              snapshot->label(static_cast<graph::Vertex>(v)))) {
+        std::printf("VERIFY FAILED: label %zu differs\n", v);
+        return 1;
+      }
+    util::Rng vrng(seed);
+    const auto n = static_cast<std::uint64_t>(fresh.num_vertices());
+    for (int i = 0; i < 1000; ++i) {
+      const auto u = static_cast<graph::Vertex>(vrng.next_below(n));
+      const auto v = static_cast<graph::Vertex>(vrng.next_below(n));
+      if (fresh.query(u, v) != snapshot->query(u, v)) {
+        std::printf("VERIFY FAILED: query(%u,%u) differs\n", u, v);
+        return 1;
+      }
+    }
+    std::printf("verify: all labels and 1000 sampled queries bit-identical\n");
+  }
+
+  if (duration <= 0) return 0;
+
+  // 3. Closed-loop load generation: each client thread draws pairs from a
+  // Zipf-ranked pool (the skew a real object-location service sees) and
+  // submits fixed-size batches until the deadline.
+  service::QueryEngineOptions options;
+  options.threads = threads;
+  options.cache_capacity = cache;
+  service::QueryEngine engine(snapshot, options);
+
+  const auto n = static_cast<std::uint64_t>(snapshot->num_vertices());
+  util::Rng pool_rng(seed);
+  std::vector<service::Query> pair_pool;
+  pair_pool.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i)
+    pair_pool.push_back({static_cast<graph::Vertex>(pool_rng.next_below(n)),
+                         static_cast<graph::Vertex>(pool_rng.next_below(n))});
+  const util::ZipfSampler zipf(pair_pool.size(), zipf_s);
+
+  std::printf(
+      "serving: %zu engine threads, %zu clients, batch %zu, %zu pairs "
+      "(zipf s=%.2f), cache %zu entries, %.1fs...\n",
+      engine.num_threads(), clients, batch, pairs, zipf_s, cache, duration);
+
+  std::vector<std::thread> load;
+  std::vector<std::uint64_t> answered(clients, 0);
+  util::Timer wall;
+  for (std::size_t c = 0; c < clients; ++c)
+    load.emplace_back([&, c] {
+      util::Rng rng(seed + 1000 * (c + 1));
+      std::vector<service::Query> queries(batch);
+      while (wall.elapsed_seconds() < duration) {
+        for (service::Query& q : queries) q = pair_pool[zipf.sample(rng)];
+        const auto results = engine.query_batch(queries);
+        answered[c] += results.size();
+      }
+    });
+  for (std::thread& t : load) t.join();
+  const double elapsed = wall.elapsed_seconds();
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t a : answered) total += a;
+  const auto& latency = engine.metrics().histogram("query_latency_ns");
+  std::printf("\nserved %llu queries in %.2fs\n",
+              static_cast<unsigned long long>(total), elapsed);
+  std::printf("  QPS            %.0f\n",
+              static_cast<double>(total) / elapsed);
+  std::printf("  latency p50    %.1f us\n",
+              latency.percentile_nanos(0.50) / 1000.0);
+  std::printf("  latency p95    %.1f us\n",
+              latency.percentile_nanos(0.95) / 1000.0);
+  std::printf("  latency p99    %.1f us\n",
+              latency.percentile_nanos(0.99) / 1000.0);
+  std::printf("  cache hit rate %.1f%% (%llu hits / %llu misses)\n",
+              100.0 * engine.cache().hit_rate(),
+              static_cast<unsigned long long>(engine.cache().hits()),
+              static_cast<unsigned long long>(engine.cache().misses()));
+  std::printf("\nmetrics:\n%s", engine.metrics().report().c_str());
+
+  const auto unused = args.unused();
+  for (const std::string& flag : unused)
+    std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

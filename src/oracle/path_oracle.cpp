@@ -1,10 +1,23 @@
 #include "oracle/path_oracle.hpp"
 
+#include <stdexcept>
+#include <string>
+#include <utility>
+
 namespace pathsep::oracle {
 
 PathOracle::PathOracle(const hierarchy::DecompositionTree& tree,
                        double epsilon)
     : epsilon_(epsilon), labels_(build_labels(tree, epsilon)) {}
+
+PathOracle::PathOracle(std::vector<DistanceLabel> labels, double epsilon)
+    : epsilon_(epsilon), labels_(std::move(labels)) {
+  for (std::size_t v = 0; v < labels_.size(); ++v)
+    if (labels_[v].vertex != static_cast<Vertex>(v))
+      throw std::invalid_argument("label at index " + std::to_string(v) +
+                                  " belongs to vertex " +
+                                  std::to_string(labels_[v].vertex));
+}
 
 std::size_t PathOracle::size_in_words() const {
   std::size_t words = 0;

@@ -13,6 +13,10 @@ class PathOracle {
   /// Builds the oracle for the graph underlying `tree` (root ids).
   PathOracle(const hierarchy::DecompositionTree& tree, double epsilon);
 
+  /// Reassembles an oracle from prebuilt labels (snapshot loading; see
+  /// service/snapshot.hpp). labels[v].vertex must equal v for every v.
+  PathOracle(std::vector<DistanceLabel> labels, double epsilon);
+
   /// (1+ε)-approximate distance between root-graph vertices. Never
   /// underestimates; kInfiniteWeight if u and v are disconnected.
   Weight query(Vertex u, Vertex v) const {

@@ -39,6 +39,8 @@ std::size_t varint_size(std::uint64_t value) {
   return bytes;
 }
 
+}  // namespace
+
 void append_double(std::vector<std::uint8_t>& out, double value) {
   std::uint64_t bits;
   std::memcpy(&bits, &value, sizeof(bits));
@@ -58,8 +60,6 @@ double read_double(std::span<const std::uint8_t> bytes, std::size_t& offset) {
   std::memcpy(&value, &bits, sizeof(value));
   return value;
 }
-
-}  // namespace
 
 std::vector<std::uint8_t> serialize_label(const DistanceLabel& label) {
   std::vector<std::uint8_t> out;
@@ -89,6 +89,13 @@ DistanceLabel deserialize_label(std::span<const std::uint8_t> bytes) {
   std::size_t offset = 0;
   label.vertex = static_cast<Vertex>(read_varint(bytes, offset));
   const std::uint64_t num_parts = read_varint(bytes, offset);
+  // A part encodes at least 3 varint bytes; a connection at least 2 varint
+  // bytes plus two 8-byte doubles. Counts exceeding what the remaining
+  // buffer could possibly hold are corruption — reject them up front so a
+  // flipped bit in a count can neither drive a near-endless parse loop nor
+  // balloon allocations.
+  if (num_parts > (bytes.size() - std::min(offset, bytes.size())) / 3)
+    throw std::runtime_error("label part count exceeds buffer");
   std::int32_t prev_node = 0;
   for (std::uint64_t p = 0; p < num_parts; ++p) {
     LabelPart part;
@@ -96,6 +103,9 @@ DistanceLabel deserialize_label(std::span<const std::uint8_t> bytes) {
     part.node = prev_node;
     part.path = static_cast<std::int32_t>(read_varint(bytes, offset));
     const std::uint64_t num_conns = read_varint(bytes, offset);
+    if (num_conns > (bytes.size() - std::min(offset, bytes.size())) / 18)
+      throw std::runtime_error("connection count exceeds buffer");
+    part.connections.reserve(num_conns);
     for (std::uint64_t c = 0; c < num_conns; ++c) {
       Connection conn;
       conn.path_index = static_cast<std::uint32_t>(read_varint(bytes, offset));

@@ -22,9 +22,11 @@ DistanceLabel deserialize_label(std::span<const std::uint8_t> bytes);
 /// serialize_label(label).size() * 8 without materializing the buffer.
 std::size_t serialized_bits(const DistanceLabel& label);
 
-// Exposed for tests.
+// Exposed for tests and for the snapshot container format (service/).
 void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
 std::uint64_t read_varint(std::span<const std::uint8_t> bytes,
                           std::size_t& offset);
+void append_double(std::vector<std::uint8_t>& out, double value);
+double read_double(std::span<const std::uint8_t> bytes, std::size_t& offset);
 
 }  // namespace pathsep::oracle

@@ -24,6 +24,8 @@
 //   routing/    stretch-(1+eps) compact routing
 //   smallworld/ Theorem 3 augmentation, Claim 1 landmarks, Kleinberg baseline
 //   doubling/   (k,alpha)-doubling separators & oracle (Thm 8)
+//   service/    serving layer: thread-pooled batched query engine with
+//               LRU result cache, oracle snapshots on disk, metrics
 #pragma once
 
 #include "doubling/dimension.hpp"
@@ -51,6 +53,11 @@
 #include "routing/simulator.hpp"
 #include "routing/tables.hpp"
 #include "separator/finders.hpp"
+#include "service/metrics.hpp"
+#include "service/query_engine.hpp"
+#include "service/result_cache.hpp"
+#include "service/snapshot.hpp"
+#include "service/thread_pool.hpp"
 #include "separator/path_separator.hpp"
 #include "separator/validate.hpp"
 #include "separator/weighted.hpp"

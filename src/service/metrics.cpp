@@ -1,0 +1,79 @@
+#include "service/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace pathsep::service {
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  // bit_width(0|1)-1 == 0, so zero lands in bucket 0; huge samples clamp
+  // into the last bucket (2^47 ns ~ 39 hours, far beyond any query).
+  std::size_t bucket = static_cast<std::size_t>(std::bit_width(nanos | 1) - 1);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_)
+    total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::mean_nanos() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_nanos()) / static_cast<double>(n);
+}
+
+double LatencyHistogram::percentile_nanos(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the requested quantile, 1-based; walk buckets until covered.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank && seen > 0) {
+      // Geometric midpoint of [2^i, 2^{i+1}): sqrt(2)*2^i. Bucket 0 holds
+      // [0, 2), report 1.
+      return i == 0 ? 1.0 : std::exp2(static_cast<double>(i) + 0.5);
+    }
+  }
+  return std::exp2(static_cast<double>(kBuckets - 1) + 0.5);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_)
+    out << name << " " << counter->value() << "\n";
+  for (const auto& [name, hist] : histograms_) {
+    out << name << "{count=" << hist->count()
+        << ", mean_ns=" << hist->mean_nanos()
+        << ", p50_ns=" << hist->percentile_nanos(0.50)
+        << ", p95_ns=" << hist->percentile_nanos(0.95)
+        << ", p99_ns=" << hist->percentile_nanos(0.99) << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace pathsep::service

@@ -1,0 +1,108 @@
+#include "service/query_engine.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace pathsep::service {
+
+QueryEngine::QueryEngine(std::shared_ptr<const oracle::PathOracle> snapshot,
+                         QueryEngineOptions options)
+    : options_(options),
+      snapshot_(std::move(snapshot)),
+      cache_(options.cache_capacity, options.cache_shards),
+      queries_total_(&metrics_.counter("queries_total")),
+      cache_hits_(&metrics_.counter("cache_hits")),
+      cache_misses_(&metrics_.counter("cache_misses")),
+      batches_total_(&metrics_.counter("batches_total")),
+      latency_(&metrics_.histogram("query_latency_ns")),
+      pool_(options.threads) {
+  if (!snapshot_) throw std::invalid_argument("null oracle snapshot");
+}
+
+graph::Weight QueryEngine::answer_one(const oracle::PathOracle& oracle,
+                                      graph::Vertex u, graph::Vertex v) {
+  const util::Timer timer;
+  graph::Weight result;
+  if (cache_.capacity() == 0) {
+    // Cache disabled: skip even the empty-shard lookup; every query is a
+    // miss so hits + misses == queries_total still holds.
+    cache_misses_->inc();
+    result = oracle.query(u, v);
+  } else {
+    const std::uint64_t key = ResultCache::key(u, v);
+    if (const std::optional<graph::Weight> hit = cache_.get(key)) {
+      cache_hits_->inc();
+      result = *hit;
+    } else {
+      cache_misses_->inc();
+      result = oracle.query(u, v);
+      cache_.put(key, result);
+    }
+  }
+  queries_total_->inc();
+  latency_->record(timer.elapsed_ns());
+  return result;
+}
+
+graph::Weight QueryEngine::query(graph::Vertex u, graph::Vertex v) {
+  const std::shared_ptr<const oracle::PathOracle> snap = snapshot();
+  return answer_one(*snap, u, v);
+}
+
+std::vector<graph::Weight> QueryEngine::query_batch(
+    std::span<const Query> queries) {
+  std::vector<graph::Weight> results(queries.size());
+  if (queries.empty()) return results;
+  batches_total_->inc();
+  const std::shared_ptr<const oracle::PathOracle> snap = snapshot();
+
+  const std::size_t chunk = std::max<std::size_t>(1, options_.batch_chunk);
+  const std::size_t num_chunks = (queries.size() + chunk - 1) / chunk;
+  // A single-chunk batch, or a pool that could not run chunks in parallel
+  // anyway, is answered inline: handing work to one worker while this
+  // thread blocks would only add dispatch latency.
+  if (num_chunks == 1 || pool_.num_threads() <= 1) {
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      results[i] = answer_one(*snap, queries[i].u, queries[i].v);
+    return results;
+  }
+
+  // Shared completion state lives on this stack frame; the final wait below
+  // guarantees it outlives every chunk task.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = num_chunks;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(begin + chunk, queries.size());
+    pool_.submit([this, &snap, &queries, &results, &done_mutex, &done_cv,
+                  &remaining, begin, end] {
+      for (std::size_t i = begin; i < end; ++i)
+        results[i] = answer_one(*snap, queries[i].u, queries[i].v);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  return results;
+}
+
+std::shared_ptr<const oracle::PathOracle> QueryEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+void QueryEngine::replace_snapshot(
+    std::shared_ptr<const oracle::PathOracle> snapshot) {
+  if (!snapshot) throw std::invalid_argument("null oracle snapshot");
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_.swap(snapshot);
+  }
+  cache_.clear();
+}
+
+}  // namespace pathsep::service

@@ -1,0 +1,95 @@
+// Concurrent batched distance-query engine — the serving front-end over an
+// immutable PathOracle snapshot.
+//
+// The engine composes the service primitives: a persistent ThreadPool for
+// dispatch, a sharded LRU ResultCache keyed on the canonical symmetric pair,
+// and a MetricsRegistry recording totals and a latency histogram on every
+// query path. Queries never mutate the oracle, so a snapshot is shared
+// read-only across all workers; replace_snapshot() swaps in a new oracle
+// atomically (in-flight batches finish against the snapshot they pinned).
+//
+// Two entry points:
+//   query(u, v)        — synchronous, served on the caller's thread.
+//   query_batch(span)  — splits the batch into contiguous chunks and fans
+//                        them out to the pool; one condition-variable wait
+//                        amortized over the whole batch instead of a
+//                        synchronization per query.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "oracle/path_oracle.hpp"
+#include "service/metrics.hpp"
+#include "service/result_cache.hpp"
+#include "service/thread_pool.hpp"
+
+namespace pathsep::service {
+
+struct QueryEngineOptions {
+  /// Worker threads; 0 = util::default_threads() (PATHSEP_THREADS aware).
+  std::size_t threads = 0;
+  /// Total result-cache entries; 0 disables caching (every lookup counts as
+  /// a miss so the metrics invariant hits + misses == queries still holds).
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+  /// Queries per pooled task: one chunk is answered back-to-back by one
+  /// worker, keeping its label accesses hot and bounding dispatch overhead
+  /// to ceil(batch / chunk) queue operations.
+  std::size_t batch_chunk = 256;
+};
+
+struct Query {
+  graph::Vertex u = 0;
+  graph::Vertex v = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(std::shared_ptr<const oracle::PathOracle> snapshot,
+                       QueryEngineOptions options = {});
+
+  /// (1+eps)-approximate distance through cache + metrics, on this thread.
+  graph::Weight query(graph::Vertex u, graph::Vertex v);
+
+  /// Answers queries[i] into result[i], fanning chunks out to the pool.
+  /// Blocks until the whole batch is answered. Safe to call from many
+  /// client threads concurrently.
+  std::vector<graph::Weight> query_batch(std::span<const Query> queries);
+
+  /// Current snapshot (never null).
+  std::shared_ptr<const oracle::PathOracle> snapshot() const;
+
+  /// Atomically replaces the snapshot and clears the result cache (cached
+  /// distances belong to the old oracle). Throws on null.
+  void replace_snapshot(std::shared_ptr<const oracle::PathOracle> snapshot);
+
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  std::size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  graph::Weight answer_one(const oracle::PathOracle& oracle, graph::Vertex u,
+                           graph::Vertex v);
+
+  QueryEngineOptions options_;
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const oracle::PathOracle> snapshot_;
+  ResultCache cache_;
+  MetricsRegistry metrics_;
+  // Resolved once so the hot path records without registry map lookups.
+  Counter* queries_total_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* batches_total_;
+  LatencyHistogram* latency_;
+  ThreadPool pool_;  ///< last member: workers die before state they touch
+};
+
+}  // namespace pathsep::service

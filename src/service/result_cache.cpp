@@ -1,0 +1,94 @@
+#include "service/result_cache.hpp"
+
+#include <bit>
+
+namespace pathsep::service {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  if (shards == 0) shards = 1;
+  shards = std::bit_ceil(shards);
+  // No point in more shards than entries; a zero-capacity cache still gets
+  // one shard so the counters work.
+  while (shards > 1 && capacity / shards == 0) shards /= 2;
+  mask_ = shards - 1;
+  shards_.reserve(shards);
+  const std::size_t base = capacity / shards;
+  const std::size_t extra = capacity % shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (s < extra ? 1 : 0);
+  }
+}
+
+std::optional<graph::Weight> ResultCache::get(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResultCache::put(std::uint64_t key, graph::Weight value) {
+  Shard& shard = shard_for(key);
+  if (shard.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void ResultCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_)
+    total += shard->hits.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_)
+    total += shard->misses.load(std::memory_order_relaxed);
+  return total;
+}
+
+double ResultCache::hit_rate() const {
+  const std::uint64_t h = hits();
+  const std::uint64_t total = h + misses();
+  return total == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(total);
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace pathsep::service

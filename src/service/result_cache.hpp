@@ -1,0 +1,82 @@
+// Sharded LRU cache for distance-query results.
+//
+// Distance queries are symmetric and the oracle snapshot is immutable, so a
+// result for the canonical key (min(u,v), max(u,v)) never goes stale and can
+// be served to both query directions. Shards (power-of-two count, each with
+// its own mutex, map, and LRU list) keep lock contention low under
+// concurrent serving; hit/miss counters are per-shard atomics aggregated on
+// read so a hot cache never serializes on a shared counter either.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <atomic>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::service {
+
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget split evenly across shards;
+  /// `shards` is rounded up to a power of two. capacity == 0 is a valid
+  /// always-miss cache (used to disable caching without branching callers).
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 16);
+
+  /// Canonical symmetric key: (min(u,v), max(u,v)) packed into 64 bits.
+  static std::uint64_t key(graph::Vertex u, graph::Vertex v) {
+    const std::uint64_t lo = u < v ? u : v;
+    const std::uint64_t hi = u < v ? v : u;
+    return (lo << 32) | hi;
+  }
+
+  std::optional<graph::Weight> get(std::uint64_t key);
+  void put(std::uint64_t key, graph::Weight value);
+  void clear();
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// hits / (hits + misses); 0 before any lookup.
+  double hit_rate() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// front = most recently used; pairs of (key, value).
+    std::list<std::pair<std::uint64_t, graph::Weight>> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, graph::Weight>>::iterator>
+        index;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::size_t capacity = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    // splitmix64 finalizer: decorrelates the packed vertex ids so adjacent
+    // pairs spread across shards.
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return *shards_[x & mask_];
+  }
+
+  std::size_t capacity_;
+  std::uint64_t mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pathsep::service

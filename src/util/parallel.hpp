@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <thread>
@@ -12,17 +13,28 @@
 
 namespace pathsep::util {
 
-/// Runs fn(0..count-1) across up to `threads` workers (0 = hardware
-/// concurrency, capped at 8). Falls back to serial execution for tiny
-/// ranges. fn must be safe to call concurrently for distinct indices.
+/// Default worker count shared by the oracle build (parallel_for) and the
+/// query service (ThreadPool): the PATHSEP_THREADS environment variable when
+/// set to a positive integer, otherwise full hardware_concurrency().
+inline std::size_t default_threads() {
+  if (const char* env = std::getenv("PATHSEP_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs fn(0..count-1) across up to `threads` workers (0 = default_threads(),
+/// i.e. hardware concurrency unless PATHSEP_THREADS overrides it). Falls back
+/// to serial execution for tiny ranges. fn must be safe to call concurrently
+/// for distinct indices.
 inline void parallel_for(std::size_t count,
                          const std::function<void(std::size_t)>& fn,
                          std::size_t threads = 0) {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-    threads = std::min<std::size_t>(threads, 8);
-  }
+  if (threads == 0) threads = default_threads();
   threads = std::min(threads, count);
   if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
