@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/check.hpp"
 #include "graph/generators.hpp"
 #include "hierarchy/decomposition_tree.hpp"
 #include "oracle/serialize.hpp"
@@ -182,6 +183,9 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Contract violations in a serving tool abort with the structured report
+  // instead of unwinding through the pool (see check/check.hpp).
+  pathsep::check::abort_on_failure();
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <optional>
 
+#include "check/check.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -22,7 +23,9 @@
 
 using namespace pathsep;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   util::Args args(argc, argv);
   const std::string load = args.get("load");
   const std::string family = args.get("family", "apollonian");
@@ -109,4 +112,18 @@ int main(int argc, char** argv) {
     std::printf("(%u deeper levels omitted; --max-levels to see more)\n",
                 tree.height() - max_levels);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Tool mode: a failed PATHSEP_ASSERT aborts with the report on stderr;
+  // expected input errors (malformed --load files) print and exit 1.
+  check::abort_on_failure();
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Pre-merge correctness gate: the full build/test matrix described in
+# README.md ("Correctness tooling"). Run from the repository root:
+#
+#   scripts/check.sh              # whole matrix
+#   scripts/check.sh release tidy # a subset of the steps
+#
+# Steps:
+#   release  strict-warnings (-Werror) build, ctest twice — plain and with
+#            PATHSEP_AUDIT=1 so every deep invariant validator runs
+#   asan     AddressSanitizer + UndefinedBehaviorSanitizer build, full ctest
+#   tsan     ThreadSanitizer build, ctest -L service (the concurrent layer)
+#   tidy     clang-tidy over src/ via the `tidy` target (no-op with a notice
+#            when clang-tidy is not installed)
+#
+# Every step uses its own CMake preset/binary dir (see CMakePresets.json),
+# so the matrix never invalidates an incremental developer build other than
+# `build/` itself (the release preset owns that directory).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+STEPS=("$@")
+[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan tidy)
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+want() {
+  local step
+  for step in "${STEPS[@]}"; do [ "$step" = "$1" ] && return 0; done
+  return 1
+}
+
+if want release; then
+  banner "release: -Werror build + ctest (plain, then PATHSEP_AUDIT=1)"
+  cmake --preset release
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+  PATHSEP_AUDIT=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+fi
+
+if want asan; then
+  banner "asan: AddressSanitizer + UBSan build + full ctest"
+  cmake --preset asan-ubsan
+  cmake --build build-asan-ubsan -j "$JOBS"
+  ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS"
+fi
+
+if want tsan; then
+  banner "tsan: ThreadSanitizer build + ctest -L service"
+  cmake --preset tsan
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L service
+fi
+
+if want tidy; then
+  banner "tidy: clang-tidy over src/"
+  cmake --build build --target tidy
+fi
+
+banner "check.sh: all requested steps passed"

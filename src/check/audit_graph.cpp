@@ -1,0 +1,72 @@
+#include "check/audit_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/check.hpp"
+
+namespace pathsep::check {
+
+using graph::Arc;
+using graph::Vertex;
+using graph::Weight;
+
+void audit_csr(std::span<const std::size_t> offsets,
+               std::span<const Arc> arcs) {
+  if (offsets.empty()) {
+    PATHSEP_ASSERT(arcs.empty(), "empty graph must have no arcs");
+    return;
+  }
+  const std::size_t n = offsets.size() - 1;
+  PATHSEP_ASSERT(offsets.front() == 0, "CSR offsets must start at 0, got ",
+                 offsets.front());
+  PATHSEP_ASSERT(offsets.back() == arcs.size(),
+                 "CSR offsets must end at arc count: offsets.back()=",
+                 offsets.back(), " arcs=", arcs.size());
+  for (std::size_t v = 0; v < n; ++v)
+    PATHSEP_ASSERT(offsets[v] <= offsets[v + 1],
+                   "CSR offsets not monotone at vertex ", v);
+
+  // Per-arc sanity + strict neighbor ordering.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Arc& a = arcs[i];
+      PATHSEP_ASSERT(a.to < n, "arc target out of range: vertex ", v,
+                     " -> ", a.to, " (n=", n, ")");
+      PATHSEP_ASSERT(a.to != static_cast<Vertex>(v),
+                     "self-loop at vertex ", v);
+      PATHSEP_ASSERT(std::isfinite(a.weight) && a.weight > 0,
+                     "non-positive or non-finite weight ", a.weight,
+                     " on edge {", v, ",", a.to, "}");
+      if (i > offsets[v])
+        PATHSEP_ASSERT(arcs[i - 1].to < a.to,
+                       "neighbor list of vertex ", v,
+                       " not strictly sorted at target ", a.to);
+    }
+  }
+
+  // Symmetry: each directed arc must have its reverse with equal weight.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Arc& a = arcs[i];
+      const auto begin = arcs.begin() + static_cast<std::ptrdiff_t>(offsets[a.to]);
+      const auto end =
+          arcs.begin() + static_cast<std::ptrdiff_t>(offsets[a.to + 1]);
+      const auto it = std::lower_bound(
+          begin, end, static_cast<Vertex>(v),
+          [](const Arc& arc, Vertex target) { return arc.to < target; });
+      PATHSEP_ASSERT(it != end && it->to == static_cast<Vertex>(v),
+                     "asymmetric adjacency: arc ", v, "->", a.to,
+                     " has no reverse");
+      PATHSEP_ASSERT(it->weight == a.weight,
+                     "asymmetric weight on edge {", v, ",", a.to,
+                     "}: ", a.weight, " vs ", it->weight);
+    }
+  }
+}
+
+void audit_graph(const graph::Graph& g) {
+  audit_csr(g.raw_offsets(), g.raw_arcs());
+}
+
+}  // namespace pathsep::check

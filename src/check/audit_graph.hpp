@@ -1,0 +1,22 @@
+// Deep invariant audit of the CSR graph representation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::check {
+
+/// Validates a raw CSR adjacency: offsets monotone and spanning the arc
+/// array, per-vertex neighbor lists strictly sorted by target (no duplicate
+/// edges), no self-loops, all weights finite and positive, and adjacency
+/// symmetry (every arc u->v has a matching v->u with the same weight).
+/// Throws/aborts via PATHSEP_ASSERT on the first violation.
+void audit_csr(std::span<const std::size_t> offsets,
+               std::span<const graph::Arc> arcs);
+
+/// Audit entry point for a built Graph.
+void audit_graph(const graph::Graph& g);
+
+}  // namespace pathsep::check

@@ -1,0 +1,189 @@
+#include "check/audit_hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "check/audit_separator.hpp"
+#include "check/check.hpp"
+
+namespace pathsep::check {
+
+using graph::Vertex;
+using graph::Weight;
+using hierarchy::DecompositionNode;
+using hierarchy::NodePath;
+
+namespace {
+
+void audit_node_paths(const DecompositionNode& node, std::size_t id) {
+  const std::size_t n = node.graph.num_vertices();
+  for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
+    const NodePath& path = node.paths[pi];
+    PATHSEP_ASSERT(!path.verts.empty(), "node ", id, " path ", pi,
+                   " is empty");
+    PATHSEP_ASSERT(path.prefix.size() == path.verts.size(), "node ", id,
+                   " path ", pi, " prefix/verts size mismatch: ",
+                   path.prefix.size(), " vs ", path.verts.size());
+    PATHSEP_ASSERT(path.stage < std::max<std::size_t>(node.num_stages, 1),
+                   "node ", id, " path ", pi, " stage ", path.stage,
+                   " out of range (num_stages=", node.num_stages, ")");
+    PATHSEP_ASSERT(path.prefix[0] == 0, "node ", id, " path ", pi,
+                   " prefix must start at 0");
+    std::unordered_set<Vertex> seen;
+    for (std::size_t i = 0; i < path.verts.size(); ++i) {
+      const Vertex v = path.verts[i];
+      PATHSEP_ASSERT(v < n, "node ", id, " path ", pi, " vertex ", v,
+                     " out of range (n=", n, ")");
+      PATHSEP_ASSERT(seen.insert(v).second, "node ", id, " path ", pi,
+                     " repeats vertex ", v);
+      if (i > 0) {
+        const Weight w = node.graph.edge_weight(path.verts[i - 1], v);
+        PATHSEP_ASSERT(w != graph::kInfiniteWeight, "node ", id, " path ",
+                       pi, " uses missing edge {", path.verts[i - 1], ",", v,
+                       "}");
+        PATHSEP_ASSERT(std::abs(path.prefix[i] - path.prefix[i - 1] - w) <=
+                           1e-9 * std::max<Weight>(1.0, path.prefix[i]),
+                       "node ", id, " path ", pi, " prefix[", i,
+                       "] does not match edge weights");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void audit_decomposition_nodes(std::span<const DecompositionNode> nodes) {
+  PATHSEP_ASSERT(!nodes.empty(), "decomposition tree has no nodes");
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const DecompositionNode& node = nodes[id];
+    const std::size_t n = node.graph.num_vertices();
+    PATHSEP_ASSERT(node.root_ids.size() == n, "node ", id,
+                   " root_ids size ", node.root_ids.size(),
+                   " does not match graph size ", n);
+
+    // Link symmetry and depth bookkeeping.
+    if (id == 0) {
+      PATHSEP_ASSERT(node.parent == -1, "root node must have parent -1");
+      PATHSEP_ASSERT(node.depth == 0, "root node must have depth 0");
+    } else {
+      PATHSEP_ASSERT(node.parent >= 0 &&
+                         static_cast<std::size_t>(node.parent) < id,
+                     "node ", id, " parent ", node.parent,
+                     " must precede it (BFS order)");
+      const DecompositionNode& parent =
+          nodes[static_cast<std::size_t>(node.parent)];
+      PATHSEP_ASSERT(node.depth == parent.depth + 1, "node ", id, " depth ",
+                     node.depth, " inconsistent with parent depth ",
+                     parent.depth);
+      PATHSEP_ASSERT(std::find(parent.children.begin(), parent.children.end(),
+                               static_cast<int>(id)) != parent.children.end(),
+                     "node ", id, " missing from its parent's child list");
+    }
+    for (int child : node.children) {
+      PATHSEP_ASSERT(child > static_cast<int>(id) &&
+                         static_cast<std::size_t>(child) < nodes.size(),
+                     "node ", id, " child id ", child, " out of range");
+      PATHSEP_ASSERT(nodes[static_cast<std::size_t>(child)].parent ==
+                         static_cast<int>(id),
+                     "child ", child, " does not point back to parent ", id);
+    }
+
+    audit_node_paths(node, id);
+
+    // Cover and disjointness: each node vertex is either on the separator or
+    // in exactly one child; no surviving edge crosses children.
+    std::vector<int> owner(n, -1);  // -2 = separator, >=0 = child index
+    for (const NodePath& path : node.paths)
+      for (Vertex v : path.verts) owner[v] = -2;
+    PATHSEP_ASSERT(n == 0 || std::count(owner.begin(), owner.end(), -2) > 0,
+                   "node ", id, " has an empty separator");
+
+    std::unordered_map<Vertex, Vertex> local_of_root;
+    local_of_root.reserve(n);
+    for (Vertex v = 0; v < n; ++v) local_of_root.emplace(node.root_ids[v], v);
+    for (std::size_t ci = 0; ci < node.children.size(); ++ci) {
+      const DecompositionNode& child =
+          nodes[static_cast<std::size_t>(node.children[ci])];
+      for (Vertex root_id : child.root_ids) {
+        const auto it = local_of_root.find(root_id);
+        PATHSEP_ASSERT(it != local_of_root.end(), "child of node ", id,
+                       " contains root vertex ", root_id,
+                       " that the node does not");
+        PATHSEP_ASSERT(owner[it->second] == -1, "node ", id,
+                       " root vertex ", root_id,
+                       owner[it->second] == -2
+                           ? " is both on the separator and in a child"
+                           : " appears in two children");
+        owner[it->second] = static_cast<int>(ci);
+      }
+    }
+    for (Vertex v = 0; v < n; ++v)
+      PATHSEP_ASSERT(owner[v] != -1, "node ", id, " vertex ", v,
+                     " (root id ", node.root_ids[v],
+                     ") is neither on the separator nor in any child");
+    for (Vertex v = 0; v < n; ++v) {
+      if (owner[v] < 0) continue;
+      for (const graph::Arc& a : node.graph.neighbors(v))
+        PATHSEP_ASSERT(owner[a.to] == -2 || owner[a.to] == owner[v],
+                       "node ", id, " edge {", v, ",", a.to,
+                       "} crosses two children — separator does not separate");
+    }
+
+    // Balance (P3): no child may exceed half the node's vertices.
+    for (int child : node.children) {
+      const std::size_t child_n =
+          nodes[static_cast<std::size_t>(child)].graph.num_vertices();
+      PATHSEP_ASSERT(child_n <= n / 2, "node ", id, " child ", child,
+                     " has ", child_n, " of ", n,
+                     " vertices — balance (P3) violated");
+    }
+  }
+}
+
+void audit_decomposition(const hierarchy::DecompositionTree& tree) {
+  audit_decomposition_nodes(tree.nodes());
+
+  // Chains: root-down, parent-linked, locals mapping back to the vertex,
+  // ending at the node whose separator removed it.
+  const std::size_t n = tree.root_graph().num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    const auto& chain = tree.chain(v);
+    PATHSEP_ASSERT(!chain.empty(), "vertex ", v, " has an empty chain");
+    PATHSEP_ASSERT(chain.front().first == 0, "chain of vertex ", v,
+                   " does not start at the root node");
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const auto [node_id, local] = chain[i];
+      const hierarchy::DecompositionNode& node = tree.node(node_id);
+      PATHSEP_ASSERT(local < node.root_ids.size() &&
+                         node.root_ids[local] == v,
+                     "chain of vertex ", v, " entry ", i,
+                     " maps to the wrong root vertex");
+      if (i > 0)
+        PATHSEP_ASSERT(node.parent == chain[i - 1].first, "chain of vertex ",
+                       v, " is not parent-linked at entry ", i);
+    }
+    const auto [last_node, last_local] = chain.back();
+    bool on_separator = false;
+    for (const NodePath& path : tree.node(last_node).paths)
+      on_separator = on_separator ||
+                     std::find(path.verts.begin(), path.verts.end(),
+                               last_local) != path.verts.end();
+    PATHSEP_ASSERT(on_separator, "chain of vertex ", v,
+                   " ends at node ", last_node,
+                   " whose separator does not contain it");
+  }
+
+  // Definition 1 validation of every node's separator (the deep check).
+  for (std::size_t id = 0; id < tree.nodes().size(); ++id) {
+    const hierarchy::DecompositionNode& node = tree.node(static_cast<int>(id));
+    separator::PathSeparator sep;
+    sep.stages.resize(std::max<std::size_t>(node.num_stages, 1));
+    for (const NodePath& path : node.paths)
+      sep.stages[path.stage].push_back(path.verts);
+    audit_separator(node.graph, sep);
+  }
+}
+
+}  // namespace pathsep::check

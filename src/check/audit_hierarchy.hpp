@@ -1,0 +1,24 @@
+// Deep invariant audit of the decomposition tree (§4 structure).
+#pragma once
+
+#include <span>
+
+#include "hierarchy/decomposition_tree.hpp"
+
+namespace pathsep::check {
+
+/// Structural audit of a node array: parent/child link symmetry, depth
+/// bookkeeping, separator-path well-formedness (consecutive adjacency, prefix
+/// sums matching edge weights, valid stages), and the cover/disjointness
+/// property — every node vertex is either on the node's separator or in
+/// exactly one child, children are pairwise disjoint, and no surviving edge
+/// crosses two different children.
+void audit_decomposition_nodes(
+    std::span<const hierarchy::DecompositionNode> nodes);
+
+/// Full audit of a built tree: the structural node audit, per-vertex chain
+/// consistency (root-down, parent-linked, ending where the vertex is
+/// removed), and Definition 1 validation of every node's separator.
+void audit_decomposition(const hierarchy::DecompositionTree& tree);
+
+}  // namespace pathsep::check

@@ -1,0 +1,130 @@
+#include "check/audit_oracle.hpp"
+
+#include <cmath>
+
+#include "check/check.hpp"
+
+namespace pathsep::check {
+
+using graph::Vertex;
+using graph::Weight;
+using oracle::Connection;
+using oracle::DistanceLabel;
+using oracle::LabelPart;
+
+void audit_label(const DistanceLabel& label) {
+  PATHSEP_ASSERT(label.vertex != graph::kInvalidVertex,
+                 "label has no vertex id");
+  for (std::size_t pi = 0; pi < label.parts.size(); ++pi) {
+    const LabelPart& part = label.parts[pi];
+    PATHSEP_ASSERT(part.node >= 0 && part.path >= 0, "label of vertex ",
+                   label.vertex, " part ", pi, " has negative ids (node=",
+                   part.node, ", path=", part.path, ")");
+    if (pi > 0) {
+      const LabelPart& prev = label.parts[pi - 1];
+      PATHSEP_ASSERT(prev.node < part.node ||
+                         (prev.node == part.node && prev.path < part.path),
+                     "label of vertex ", label.vertex,
+                     " parts not strictly sorted by (node, path) at index ",
+                     pi);
+    }
+    PATHSEP_ASSERT(!part.connections.empty(), "label of vertex ",
+                   label.vertex, " part ", pi, " has no connections");
+    std::size_t zero_dist = 0;
+    for (std::size_t ci = 0; ci < part.connections.size(); ++ci) {
+      const Connection& conn = part.connections[ci];
+      PATHSEP_ASSERT(std::isfinite(conn.dist) && conn.dist >= 0,
+                     "label of vertex ", label.vertex, " part ", pi,
+                     " connection ", ci, " has invalid distance ", conn.dist);
+      PATHSEP_ASSERT(std::isfinite(conn.prefix) && conn.prefix >= 0,
+                     "label of vertex ", label.vertex, " part ", pi,
+                     " connection ", ci, " has invalid prefix ", conn.prefix);
+      if (conn.dist == 0) ++zero_dist;
+      if (ci > 0)
+        PATHSEP_ASSERT(part.connections[ci - 1].prefix <= conn.prefix,
+                       "label of vertex ", label.vertex, " part ", pi,
+                       " connections not sorted by prefix at index ", ci);
+    }
+    PATHSEP_ASSERT(zero_dist <= 1, "label of vertex ", label.vertex,
+                   " part ", pi, " claims ", zero_dist,
+                   " distinct zero-distance portals");
+  }
+}
+
+void audit_labels(const std::vector<DistanceLabel>& labels) {
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    PATHSEP_ASSERT(labels[v].vertex == static_cast<Vertex>(v),
+                   "labels[", v, "].vertex is ", labels[v].vertex);
+    audit_label(labels[v]);
+  }
+
+  // Decoded-distance sanity on a deterministic sample: symmetry, zero on the
+  // diagonal, non-negativity. (Accuracy against the true metric is the
+  // oracle test suite's job; this guards structural corruption.)
+  const std::size_t n = labels.size();
+  if (n == 0) return;
+  const std::size_t samples = n < 64 ? n : 64;
+  const std::size_t stride = n / samples == 0 ? 1 : n / samples;
+  for (std::size_t i = 0; i < n; i += stride) {
+    PATHSEP_ASSERT(oracle::query_labels(labels[i], labels[i]) == 0,
+                   "label of vertex ", i, " decodes d(v,v) != 0");
+    const std::size_t j = (i * 2654435761u + 1) % n;
+    const Weight uv = oracle::query_labels(labels[i], labels[j]);
+    const Weight vu = oracle::query_labels(labels[j], labels[i]);
+    PATHSEP_ASSERT(uv == vu, "decoded distance asymmetric for pair (", i,
+                   ",", j, "): ", uv, " vs ", vu);
+    PATHSEP_ASSERT(i == j || uv > 0, "decoded distance for distinct pair (",
+                   i, ",", j, ") is not positive: ", uv);
+  }
+}
+
+void audit_connections(const hierarchy::DecompositionNode& node,
+                       const oracle::NodeConnections& conns) {
+  PATHSEP_ASSERT(conns.connections.size() == node.paths.size(),
+                 "connection lists cover ", conns.connections.size(),
+                 " paths, node has ", node.paths.size());
+  const std::size_t n = node.graph.num_vertices();
+  for (std::size_t pi = 0; pi < conns.connections.size(); ++pi) {
+    const hierarchy::NodePath& path = node.paths[pi];
+    PATHSEP_ASSERT(conns.connections[pi].size() == n, "path ", pi,
+                   " connection lists cover ", conns.connections[pi].size(),
+                   " vertices, node has ", n);
+    for (Vertex v = 0; v < n; ++v) {
+      const auto& list = conns.connections[pi][v];
+      for (std::size_t ci = 0; ci < list.size(); ++ci) {
+        const Connection& conn = list[ci];
+        PATHSEP_ASSERT(conn.path_index < path.verts.size(), "path ", pi,
+                       " vertex ", v, " connection ", ci, " portal index ",
+                       conn.path_index, " out of range");
+        PATHSEP_ASSERT(conn.prefix == path.prefix[conn.path_index], "path ",
+                       pi, " vertex ", v, " connection ", ci,
+                       " prefix does not match the path's prefix sums");
+        PATHSEP_ASSERT(std::isfinite(conn.dist) && conn.dist >= 0, "path ",
+                       pi, " vertex ", v, " connection ", ci,
+                       " invalid distance ", conn.dist);
+        // Portal monotonicity: strictly increasing along the path.
+        if (ci > 0)
+          PATHSEP_ASSERT(list[ci - 1].path_index < conn.path_index, "path ",
+                         pi, " vertex ", v,
+                         " portal indices not strictly increasing at ", ci);
+        const Vertex portal = path.verts[conn.path_index];
+        if (conn.next_hop == graph::kInvalidVertex) {
+          PATHSEP_ASSERT(portal == v && conn.dist == 0, "path ", pi,
+                         " vertex ", v, " connection ", ci,
+                         " has no next hop but is not its own portal");
+        } else {
+          PATHSEP_ASSERT(portal != v, "path ", pi, " vertex ", v,
+                         " is its own portal but stores next hop ",
+                         conn.next_hop);
+          PATHSEP_ASSERT(conn.next_hop < n, "path ", pi, " vertex ", v,
+                         " next hop ", conn.next_hop, " out of range");
+          PATHSEP_ASSERT(node.graph.has_edge(v, conn.next_hop), "path ", pi,
+                         " vertex ", v, " next hop ", conn.next_hop,
+                         " is not a neighbor");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pathsep::check

@@ -1,0 +1,28 @@
+// Deep invariant audit of distance labels and ε-portal connections.
+#pragma once
+
+#include <vector>
+
+#include "oracle/labels.hpp"
+#include "oracle/portals.hpp"
+
+namespace pathsep::check {
+
+/// Well-formedness of one label: parts strictly sorted by (node, path),
+/// connections sorted by prefix position, distances finite and >= 0,
+/// prefixes >= 0, at most one zero-distance (on-path) connection per part.
+void audit_label(const oracle::DistanceLabel& label);
+
+/// Audits every label (labels[v].vertex == v), then decoded-distance sanity
+/// on a deterministic sample of pairs: query(u,u) == 0, query(u,v) ==
+/// query(v,u), and no decoded distance is negative.
+void audit_labels(const std::vector<oracle::DistanceLabel>& labels);
+
+/// Portal monotonicity for one node's connection lists: per (path, vertex),
+/// portal indices strictly increase and prefixes match the path's prefix
+/// sums; distances are finite, >= 0, and zero exactly when the vertex is the
+/// portal; next hops are adjacent in the node graph.
+void audit_connections(const hierarchy::DecompositionNode& node,
+                       const oracle::NodeConnections& conns);
+
+}  // namespace pathsep::check

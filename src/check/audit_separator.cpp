@@ -1,0 +1,17 @@
+#include "check/audit_separator.hpp"
+
+#include "check/check.hpp"
+#include "separator/validate.hpp"
+
+namespace pathsep::check {
+
+void audit_separator(const graph::Graph& g,
+                     const separator::PathSeparator& s) {
+  const separator::ValidationReport report = separator::validate(g, s);
+  PATHSEP_ASSERT(report.ok, "separator violates Definition 1: ", report.error,
+                 " (paths=", report.path_count,
+                 ", separator_vertices=", report.separator_vertices,
+                 ", largest_component=", report.largest_component, ")");
+}
+
+}  // namespace pathsep::check

@@ -1,0 +1,14 @@
+// Deep invariant audit of a PathSeparator against Definition 1.
+#pragma once
+
+#include "separator/path_separator.hpp"
+
+namespace pathsep::check {
+
+/// Validates `s` against `g` with separator::validate (P1: every stage-i
+/// path is a shortest path of g minus earlier stages; P3: components after
+/// removal have at most n/2 vertices) and raises a structured failure
+/// carrying the validator's error message on rejection.
+void audit_separator(const graph::Graph& g, const separator::PathSeparator& s);
+
+}  // namespace pathsep::check

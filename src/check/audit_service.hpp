@@ -1,0 +1,21 @@
+// Deep invariant audit entry points for the serving layer.
+#pragma once
+
+#include "service/result_cache.hpp"
+#include "service/thread_pool.hpp"
+
+namespace pathsep::check {
+
+/// Full-cache audit: per shard, the LRU list and the index describe the same
+/// entry set (same size, every list node indexed at itself), occupancy is
+/// within the shard's capacity, every key is canonical (low vertex id in the
+/// high half >= ... see ResultCache::key), every key hashes to the shard that
+/// holds it, and every cached value is a legal distance (>= 0 or +inf).
+void audit_result_cache(const service::ResultCache& cache);
+
+/// Pool-state audit: workers exist, the running-task count never exceeds the
+/// worker count, and no queued task is a null std::function (a null task
+/// would crash the worker that dequeues it).
+void audit_thread_pool(const service::ThreadPool& pool);
+
+}  // namespace pathsep::check

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
+
+#include "check/audit_graph.hpp"
+#include "check/check.hpp"
 
 namespace pathsep::graph {
 
@@ -65,7 +69,10 @@ void GraphBuilder::add_edge(Vertex u, Vertex v, Weight w) {
   if (u == v) throw std::invalid_argument("self-loop rejected");
   if (u >= num_vertices_ || v >= num_vertices_)
     throw std::out_of_range("edge endpoint out of range");
-  if (!(w > 0)) throw std::invalid_argument("edge weight must be positive");
+  // !(w > 0) also catches NaN; the isfinite check rejects +infinity, which
+  // would otherwise corrupt edge_weight()'s kInfiniteWeight "absent" sentinel.
+  if (!std::isfinite(w) || !(w > 0))
+    throw std::invalid_argument("edge weight must be positive and finite");
   edges_.push_back({u, v, w});
 }
 
@@ -107,6 +114,7 @@ Graph GraphBuilder::build() && {
   }
   g.arcs_ = std::move(merged);
   g.offsets_ = std::move(new_offsets);
+  PATHSEP_AUDIT(check::audit_graph(g));
   return g;
 }
 

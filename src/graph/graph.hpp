@@ -62,6 +62,11 @@ class Graph {
   /// bounds (one word holds a vertex id or an edge weight; footnote 2).
   std::size_t size_in_words() const;
 
+  /// Raw CSR views, for serialization and the invariant audit
+  /// (check/audit_graph.hpp). offsets has n+1 entries; arcs has 2m.
+  std::span<const std::size_t> raw_offsets() const { return offsets_; }
+  std::span<const Arc> raw_arcs() const { return arcs_; }
+
   /// Structural equality (same vertex count and identical sorted arc lists).
   bool operator==(const Graph& other) const;
 

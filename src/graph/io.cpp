@@ -1,10 +1,76 @@
 #include "graph/io.hpp"
 
+#include <bit>
+#include <cstdint>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace pathsep::graph {
+
+namespace {
+
+/// Maximum undirected edge count of a simple graph on n vertices. Used to
+/// reject lying headers before any per-edge work happens.
+std::size_t max_simple_edges(std::size_t n) {
+  return n < 2 ? 0 : n * (n - 1) / 2;
+}
+
+void check_header_counts(std::size_t n, std::size_t m) {
+  if (n > kMaxSerializedCount)
+    throw std::runtime_error("vertex count exceeds supported maximum");
+  if (m > kMaxSerializedCount)
+    throw std::runtime_error("edge count exceeds supported maximum");
+  if (m > max_simple_edges(n))
+    throw std::runtime_error("edge count impossible for vertex count");
+}
+
+constexpr char kBinaryMagic[8] = {'P', 'S', 'E', 'P', 'G', 'R', 'F', '1'};
+constexpr std::size_t kBinaryHeaderBytes = sizeof(kBinaryMagic) + 8 + 8;
+constexpr std::size_t kBinaryEdgeBytes = 4 + 4 + 8;
+constexpr std::size_t kBinaryChecksumBytes = 8;
+
+std::uint64_t fnv1a64(const std::vector<std::uint8_t>& bytes,
+                      std::size_t count) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+/// Reads little-endian integers from a buffer whose size has already been
+/// validated against `offset + width` by the caller's structural checks.
+std::uint64_t read_u64(const std::vector<std::uint8_t>& bytes,
+                       std::size_t offset) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(bytes[offset + i]) << (8 * i);
+  return value;
+}
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& bytes,
+                       std::size_t offset) {
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    value |= static_cast<std::uint32_t>(bytes[offset + i]) << (8 * i);
+  return value;
+}
+
+}  // namespace
 
 void write_edge_list(std::ostream& os, const Graph& g) {
   os << "p " << g.num_vertices() << ' ' << g.num_edges() << '\n';
@@ -22,18 +88,24 @@ Graph read_edge_list(std::istream& is) {
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
-    char tag;
+    char tag = 0;
     ls >> tag;
+    std::string extra;
     if (tag == 'p') {
       if (have_header) throw std::runtime_error("duplicate header line");
       if (!(ls >> n >> m)) throw std::runtime_error("malformed header");
+      if (ls >> extra) throw std::runtime_error("trailing tokens in header");
+      check_header_counts(n, m);
       builder = GraphBuilder(n);
       have_header = true;
     } else if (tag == 'e') {
       if (!have_header) throw std::runtime_error("edge before header");
-      Vertex u, v;
-      Weight w;
+      if (builder.num_edges() >= m)
+        throw std::runtime_error("more edges than header declares");
+      Vertex u = 0, v = 0;
+      Weight w = 0;
       if (!(ls >> u >> v >> w)) throw std::runtime_error("malformed edge line");
+      if (ls >> extra) throw std::runtime_error("trailing tokens in edge line");
       builder.add_edge(u, v, w);
     } else {
       throw std::runtime_error("unknown line tag");
@@ -55,6 +127,76 @@ Graph load_edge_list(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for read: " + path);
   return read_edge_list(is);
+}
+
+void write_binary_graph(std::ostream& os, const Graph& g) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kBinaryHeaderBytes + g.num_edges() * kBinaryEdgeBytes +
+              kBinaryChecksumBytes);
+  for (const char c : kBinaryMagic)
+    out.push_back(static_cast<std::uint8_t>(c));
+  append_u64(out, g.num_vertices());
+  append_u64(out, g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (const Arc& a : g.neighbors(v)) {
+      if (a.to <= v) continue;
+      append_u32(out, v);
+      append_u32(out, a.to);
+      append_u64(out, std::bit_cast<std::uint64_t>(a.weight));
+    }
+  append_u64(out, fnv1a64(out, out.size()));
+  os.write(reinterpret_cast<const char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+  if (!os) throw std::runtime_error("binary graph write failed");
+}
+
+Graph read_binary_graph(std::istream& is) {
+  std::vector<std::uint8_t> bytes(std::istreambuf_iterator<char>(is),
+                                  std::istreambuf_iterator<char>{});
+  if (bytes.size() < kBinaryHeaderBytes + kBinaryChecksumBytes)
+    throw std::runtime_error("binary graph truncated before header");
+  for (std::size_t i = 0; i < sizeof(kBinaryMagic); ++i)
+    if (bytes[i] != static_cast<std::uint8_t>(kBinaryMagic[i]))
+      throw std::runtime_error("binary graph magic mismatch");
+
+  const std::size_t body = bytes.size() - kBinaryChecksumBytes;
+  if (read_u64(bytes, body) != fnv1a64(bytes, body))
+    throw std::runtime_error("binary graph checksum mismatch");
+
+  const std::uint64_t n64 = read_u64(bytes, sizeof(kBinaryMagic));
+  const std::uint64_t m64 = read_u64(bytes, sizeof(kBinaryMagic) + 8);
+  if (n64 > kMaxSerializedCount || m64 > kMaxSerializedCount)
+    throw std::runtime_error("binary graph header count exceeds maximum");
+  const auto n = static_cast<std::size_t>(n64);
+  const auto m = static_cast<std::size_t>(m64);
+  check_header_counts(n, m);
+  // The declared edge count must account for every byte between the header
+  // and the checksum — a lying count can neither over-read nor allocate.
+  if (body - kBinaryHeaderBytes != m * kBinaryEdgeBytes)
+    throw std::runtime_error("binary graph edge count does not match size");
+
+  GraphBuilder builder(n);
+  std::size_t offset = kBinaryHeaderBytes;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t u = read_u32(bytes, offset);
+    const std::uint32_t v = read_u32(bytes, offset + 4);
+    const auto w = std::bit_cast<Weight>(read_u64(bytes, offset + 8));
+    builder.add_edge(u, v, w);  // validates range, self-loops and weights
+    offset += kBinaryEdgeBytes;
+  }
+  return std::move(builder).build();
+}
+
+void save_binary_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_binary_graph(os, g);
+}
+
+Graph load_binary_graph(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_binary_graph(is);
 }
 
 }  // namespace pathsep::graph

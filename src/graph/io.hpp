@@ -1,12 +1,27 @@
-// Plain-text graph serialization (weighted edge lists).
+// Graph serialization: a plain-text edge list and a checksummed binary
+// format. Both readers are hardened against hostile input — truncated
+// streams, absurd counts, negative/non-finite weights and random garbage
+// must throw (std::runtime_error or the GraphBuilder's invalid_argument /
+// out_of_range), never crash or read out of bounds.
 //
-// Format:
+// Text format:
 //   line 1:  "p <num_vertices> <num_edges>"
 //   then one "e <u> <v> <weight>" line per undirected edge.
 // Lines starting with '#' are comments. This is a small DIMACS-flavoured
 // format so example binaries can exchange graphs with external tools.
+//
+// Binary format (all integers little-endian):
+//   bytes  0..7   magic "PSEPGRF1"
+//   bytes  8..15  u64 num_vertices
+//   bytes 16..23  u64 num_edges
+//   then num_edges records of (u32 u, u32 v, f64 weight), 16 bytes each
+//   last 8 bytes  u64 FNV-1a checksum of everything before it
+// The reader verifies the checksum and requires the edge count to match the
+// byte count exactly, so a lying header can never trigger a huge allocation
+// or an over-read.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -14,10 +29,22 @@
 
 namespace pathsep::graph {
 
+/// Practical ceiling on header-declared vertex/edge counts (2^30). Vertex
+/// ids are 32-bit so the format could name more, but a text header is
+/// trusted before any edges are read and a larger claim is far more likely
+/// a corrupt or hostile file than a real graph.
+inline constexpr std::size_t kMaxSerializedCount = std::size_t{1} << 30;
+
 void write_edge_list(std::ostream& os, const Graph& g);
 Graph read_edge_list(std::istream& is);
 
 void save_edge_list(const std::string& path, const Graph& g);
 Graph load_edge_list(const std::string& path);
+
+void write_binary_graph(std::ostream& os, const Graph& g);
+Graph read_binary_graph(std::istream& is);
+
+void save_binary_graph(const std::string& path, const Graph& g);
+Graph load_binary_graph(const std::string& path);
 
 }  // namespace pathsep::graph

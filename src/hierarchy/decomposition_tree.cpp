@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/audit_hierarchy.hpp"
+#include "check/check.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/subgraph.hpp"
 #include "separator/validate.hpp"
@@ -102,6 +104,8 @@ DecompositionTree::DecompositionTree(const Graph& g,
   for (std::size_t i = 1; i < nodes_.size(); ++i)
     nodes_[static_cast<std::size_t>(nodes_[i].parent)].children.push_back(
         static_cast<int>(i));
+
+  PATHSEP_AUDIT(check::audit_decomposition(*this));
 }
 
 std::size_t DecompositionTree::common_chain_length(Vertex u, Vertex v) const {

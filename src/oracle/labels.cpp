@@ -4,6 +4,8 @@
 #include <cmath>
 #include <tuple>
 
+#include "check/audit_oracle.hpp"
+#include "check/check.hpp"
 #include "util/parallel.hpp"
 
 namespace pathsep::oracle {
@@ -111,6 +113,7 @@ std::vector<DistanceLabel> build_labels(
               [](const LabelPart& a, const LabelPart& b) {
                 return std::tie(a.node, a.path) < std::tie(b.node, b.path);
               });
+  PATHSEP_AUDIT(check::audit_labels(labels));
   return labels;
 }
 

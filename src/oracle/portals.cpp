@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "check/audit_oracle.hpp"
+#include "check/check.hpp"
 #include "sssp/dijkstra.hpp"
 
 namespace pathsep::oracle {
@@ -203,6 +205,7 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
                   return a.prefix < b.prefix;
                 });
   }
+  PATHSEP_AUDIT(check::audit_connections(node, out));
   return out;
 }
 

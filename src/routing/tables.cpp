@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/audit_routing.hpp"
+#include "check/check.hpp"
 #include "sssp/dijkstra.hpp"
 
 namespace pathsep::routing {
@@ -77,7 +79,9 @@ std::vector<Vertex> leg_to_portal(const hierarchy::DecompositionNode& node,
 
 RoutingScheme::RoutingScheme(const hierarchy::DecompositionTree& tree,
                              double epsilon)
-    : tree_(&tree), oracle_(tree, epsilon) {}
+    : tree_(&tree), oracle_(tree, epsilon) {
+  PATHSEP_AUDIT(check::audit_routing_tables(tree, oracle_.labels()));
+}
 
 RouteResult RoutingScheme::route(Vertex source, Vertex target) const {
   RouteResult result;

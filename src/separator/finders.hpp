@@ -81,6 +81,8 @@ class GreedyPathSeparator final : public SeparatorFinder {
   PathSeparator find(const Graph& g,
                      std::span<const Vertex> root_ids) const override;
   std::string name() const override { return "greedy-paths"; }
+  /// With a cap, the budget may run out before the graph is halved.
+  bool guarantees_definition1() const override { return max_paths_ == 0; }
 
  private:
   std::uint64_t seed_;
@@ -100,6 +102,7 @@ class StrongGreedySeparator final : public SeparatorFinder {
   PathSeparator find(const Graph& g,
                      std::span<const Vertex> root_ids) const override;
   std::string name() const override { return "strong-greedy"; }
+  bool guarantees_definition1() const override { return max_paths_ == 0; }
 
  private:
   std::uint64_t seed_;

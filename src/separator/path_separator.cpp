@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/audit_separator.hpp"
+#include "check/check.hpp"
+
 namespace pathsep::separator {
 
 std::size_t PathSeparator::path_count() const {
@@ -39,7 +42,9 @@ bool PathSeparator::empty() const {
 PathSeparator SeparatorFinder::find(const Graph& g) const {
   std::vector<Vertex> ids(g.num_vertices());
   std::iota(ids.begin(), ids.end(), Vertex{0});
-  return find(g, ids);
+  PathSeparator s = find(g, ids);
+  if (guarantees_definition1()) PATHSEP_AUDIT(check::audit_separator(g, s));
+  return s;
 }
 
 }  // namespace pathsep::separator

@@ -57,6 +57,13 @@ class SeparatorFinder {
 
   virtual std::string name() const = 0;
 
+  /// Whether every separator this finder returns satisfies Definition 1.
+  /// Budget-capped finders (e.g. GreedyPathSeparator with max_paths) may
+  /// return a set that respects the cap but does not separate; they override
+  /// this to false, which exempts them from the PATHSEP_AUDIT hook in the
+  /// convenience find() overload.
+  virtual bool guarantees_definition1() const { return true; }
+
   /// Convenience overload for the root graph itself (identity id map).
   PathSeparator find(const Graph& g) const;
 };

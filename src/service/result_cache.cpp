@@ -1,6 +1,9 @@
 #include "service/result_cache.hpp"
 
 #include <bit>
+#include <cmath>
+
+#include "check/check.hpp"
 
 namespace pathsep::service {
 
@@ -35,21 +38,32 @@ std::optional<graph::Weight> ResultCache::get(std::uint64_t key) {
 }
 
 void ResultCache::put(std::uint64_t key, graph::Weight value) {
+  // Non-canonical keys would make the same pair hit two different entries
+  // (u,v) vs (v,u) — reject at the boundary.
+  PATHSEP_ASSERT((key >> 32) <= (key & 0xffffffffULL),
+                 "non-canonical cache key: high half ", key >> 32,
+                 " exceeds low half ", key & 0xffffffffULL,
+                 " — use ResultCache::key(u, v)");
+  PATHSEP_ASSERT(!(value < 0) && !std::isnan(value),
+                 "cached distance must be >= 0 or +inf, got ", value);
   Shard& shard = shard_for(key);
   if (shard.capacity == 0) return;
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    it->second->second = value;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = value;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      if (shard.lru.size() >= shard.capacity) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+      }
+      shard.lru.emplace_front(key, value);
+      shard.index.emplace(key, shard.lru.begin());
+    }
+    PATHSEP_AUDIT(audit_shard(shard, shard_index(key)));
   }
-  if (shard.lru.size() >= shard.capacity) {
-    shard.index.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-  }
-  shard.lru.emplace_front(key, value);
-  shard.index.emplace(key, shard.lru.begin());
 }
 
 void ResultCache::clear() {
@@ -80,6 +94,50 @@ double ResultCache::hit_rate() const {
   const std::uint64_t h = hits();
   const std::uint64_t total = h + misses();
   return total == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(total);
+}
+
+std::size_t ResultCache::shard_index(std::uint64_t key) const {
+  // splitmix64 finalizer: decorrelates the packed vertex ids so adjacent
+  // pairs spread across shards.
+  std::uint64_t x = key;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x & mask_);
+}
+
+void ResultCache::audit_shard(const Shard& shard, std::size_t index) const {
+  // Caller holds shard.mutex (or has exclusive access).
+  PATHSEP_ASSERT(shard.index.size() == shard.lru.size(), "cache shard ",
+                 index, " index holds ", shard.index.size(),
+                 " entries but LRU list holds ", shard.lru.size());
+  PATHSEP_ASSERT(shard.lru.size() <= shard.capacity, "cache shard ", index,
+                 " holds ", shard.lru.size(), " entries over its capacity ",
+                 shard.capacity);
+  for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+    const std::uint64_t key = it->first;
+    PATHSEP_ASSERT((key >> 32) <= (key & 0xffffffffULL),
+                   "cache shard ", index, " holds non-canonical key ", key);
+    PATHSEP_ASSERT(shard_index(key) == index, "cache key ", key,
+                   " stored in shard ", index, " but hashes to shard ",
+                   shard_index(key));
+    const auto indexed = shard.index.find(key);
+    PATHSEP_ASSERT(indexed != shard.index.end() && indexed->second == it,
+                   "cache shard ", index, " LRU entry for key ", key,
+                   " is not indexed at itself");
+    PATHSEP_ASSERT(!(it->second < 0) && !std::isnan(it->second),
+                   "cache shard ", index, " key ", key,
+                   " caches invalid distance ", it->second);
+  }
+}
+
+void ResultCache::audit() const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    audit_shard(*shards_[s], s);
+  }
 }
 
 std::size_t ResultCache::size() const {

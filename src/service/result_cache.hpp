@@ -41,6 +41,12 @@ class ResultCache {
   void put(std::uint64_t key, graph::Weight value);
   void clear();
 
+  /// Deep invariant audit of every shard (LRU/index agreement, capacity,
+  /// key canonicality and placement, value sanity); fails via PATHSEP_ASSERT.
+  /// Called through check::audit_result_cache and, per touched shard, from
+  /// put() when PATHSEP_AUDIT is enabled.
+  void audit() const;
+
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   /// hits / (hits + misses); 0 before any lookup.
@@ -62,17 +68,12 @@ class ResultCache {
     std::size_t capacity = 0;
   };
 
-  Shard& shard_for(std::uint64_t key) {
-    // splitmix64 finalizer: decorrelates the packed vertex ids so adjacent
-    // pairs spread across shards.
-    std::uint64_t x = key;
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ULL;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebULL;
-    x ^= x >> 31;
-    return *shards_[x & mask_];
-  }
+  /// Shard index of `key` (splitmix64-mixed); audit checks placement with it.
+  std::size_t shard_index(std::uint64_t key) const;
+
+  Shard& shard_for(std::uint64_t key) { return *shards_[shard_index(key)]; }
+
+  void audit_shard(const Shard& shard, std::size_t index) const;
 
   std::size_t capacity_;
   std::uint64_t mask_;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "check/audit_oracle.hpp"
+#include "check/check.hpp"
 #include "oracle/serialize.hpp"
 
 namespace pathsep::service {
@@ -49,7 +51,9 @@ SnapshotInfo read_header(std::span<const std::uint8_t> bytes,
 
 std::vector<std::uint8_t> serialize_oracle(const oracle::PathOracle& oracle) {
   std::vector<std::uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  // push_back instead of a ranged insert: GCC 12's -Wstringop-overflow
+  // misfires on inserting a fixed array into an empty vector at -O2.
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
   oracle::append_varint(out, kSnapshotVersion);
   oracle::append_double(out, oracle.epsilon());
   oracle::append_varint(out, oracle.num_vertices());
@@ -97,6 +101,9 @@ oracle::PathOracle deserialize_oracle(std::span<const std::uint8_t> bytes) {
   }
   if (offset != body.size())
     throw std::runtime_error("trailing bytes after snapshot labels");
+  // A snapshot that passes the checksum can still have been written by a
+  // corrupted producer; the deep audit checks the decoded structure itself.
+  PATHSEP_AUDIT(check::audit_labels(labels));
   return oracle::PathOracle(std::move(labels), info.epsilon);
 }
 

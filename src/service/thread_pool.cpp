@@ -1,5 +1,6 @@
 #include "service/thread_pool.hpp"
 
+#include "check/check.hpp"
 #include "util/parallel.hpp"
 
 namespace pathsep::service {
@@ -21,9 +22,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // A null task would crash the worker that dequeues it, far from the
+  // submitter's stack — reject at the boundary instead.
+  PATHSEP_ASSERT(task != nullptr, "ThreadPool::submit called with a null task");
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    PATHSEP_ASSERT(!stop_, "ThreadPool::submit called on a stopped pool");
     queue_.push_back(std::move(task));
+    PATHSEP_AUDIT(audit_locked());
   }
   work_cv_.notify_one();
 }
@@ -36,6 +42,20 @@ void ThreadPool::wait_idle() {
 std::size_t ThreadPool::queued() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+void ThreadPool::audit_locked() const {
+  PATHSEP_ASSERT(!workers_.empty(), "thread pool has no workers");
+  PATHSEP_ASSERT(active_ <= workers_.size(), "thread pool claims ", active_,
+                 " active tasks with only ", workers_.size(), " workers");
+  for (std::size_t i = 0; i < queue_.size(); ++i)
+    PATHSEP_ASSERT(queue_[i] != nullptr, "thread pool queue slot ", i,
+                   " holds a null task");
+}
+
+void ThreadPool::audit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  audit_locked();
 }
 
 void ThreadPool::worker_loop() {

@@ -44,8 +44,14 @@ class ThreadPool {
   /// Tasks currently queued (not yet picked up); for tests and metrics.
   std::size_t queued() const;
 
+  /// Deep invariant audit: workers exist, active task count is within the
+  /// worker count, no queued task is null, and a stopped pool accepts no new
+  /// work. Fails via PATHSEP_ASSERT; see check/audit_service.hpp.
+  void audit() const;
+
  private:
   void worker_loop();
+  void audit_locked() const;  ///< audit() body; caller holds mutex_
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   ///< signals workers: task or stop

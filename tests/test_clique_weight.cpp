@@ -124,8 +124,9 @@ TEST(Lemma5Weights, RejectsMismatchedTorso) {
   const Graph g = graph::path_graph(6);
   const TreeDecomposition td = heuristic_decomposition(g);
   const Torso torso = torso_of_bag(g, td, 0);
-  if (td.num_bags() > 1 && td.bags[0] != td.bags[1])
+  if (td.num_bags() > 1 && td.bags[0] != td.bags[1]) {
     EXPECT_THROW(lemma5_clique_weight(g, td, 1, torso), std::invalid_argument);
+  }
 }
 
 }  // namespace

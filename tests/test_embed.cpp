@@ -139,7 +139,9 @@ TEST(DualTree, BalancedCornersHalveTheGrid) {
     for (graph::Vertex v : tree.root_path(c)) removed[v] = true;
   const graph::Components comps =
       graph::connected_components(gg.graph, removed);
-  if (comps.count() > 0) EXPECT_LE(comps.largest(), 32u);
+  if (comps.count() > 0) {
+    EXPECT_LE(comps.largest(), 32u);
+  }
 }
 
 TEST(DualTree, SingleVertexGraph) {

@@ -5,9 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "hierarchy/decomposition_tree.hpp"
 #include "oracle/path_oracle.hpp"
 #include "separator/finders.hpp"
@@ -132,6 +137,199 @@ TEST_P(FuzzPipeline, RandomFamilyRandomSizeFullStack) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------------
+// Parser fuzzing (graph/io.cpp). Hostile input — truncation, lying counts,
+// bad weights, random garbage — must throw std::exception, never crash,
+// over-read or allocate absurd amounts.
+// ---------------------------------------------------------------------------
+
+std::string binary_bytes(const Graph& g) {
+  std::ostringstream os(std::ios::binary);
+  graph::write_binary_graph(os, g);
+  return os.str();
+}
+
+Graph binary_graph(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return graph::read_binary_graph(is);
+}
+
+std::uint64_t fnv1a64(const std::string& bytes, std::size_t count) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    hash ^= static_cast<std::uint8_t>(bytes[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Rewrites the trailing checksum so structural lies (huge counts, bad
+/// records) are exercised instead of being masked by a checksum mismatch.
+void fix_checksum(std::string& bytes) {
+  ASSERT_GE(bytes.size(), 8u);
+  const std::uint64_t sum = fnv1a64(bytes, bytes.size() - 8);
+  for (int i = 0; i < 8; ++i)
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>(sum >> (8 * i));
+}
+
+void poke_u64(std::string& bytes, std::size_t offset, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<char>(value >> (8 * i));
+}
+
+TEST(ParserFuzz, TextRejectsMalformedInput) {
+  const char* cases[] = {
+      "",                                    // empty stream
+      "p 4",                                 // truncated header
+      "p 4 2 7\ne 0 1 1\ne 1 2 1\n",        // trailing token in header
+      "p 99999999999999999999 1\ne 0 1 1",  // count overflows size_t
+      "p 1073741825 0\n",                    // vertex count above cap
+      "p 10 1073741825\n",                   // edge count above cap
+      "p 3 9\n",                             // impossible m for n
+      "p 2 1\ne 0 1 -3\n",                   // negative weight
+      "p 2 1\ne 0 1 0\n",                    // zero weight
+      "p 2 1\ne 0 1 x\n",                    // unparsable weight
+      "p 2 1\ne 0 1 1 junk\n",               // trailing token in edge
+      "p 2 1\ne 0 0 1\n",                    // self-loop
+      "p 2 1\ne 0 7 1\n",                    // endpoint out of range
+      "p 2 1\ne -1 1 1\n",                   // negative vertex id
+      "p 2 1\ne 0 1\n",                      // missing weight
+      "p 2 1\np 2 1\ne 0 1 1\n",             // duplicate header
+      "e 0 1 1\n",                           // edge before header
+      "p 3 1\ne 0 1 1\ne 1 2 1\n",           // more edges than declared
+      "p 3 2\ne 0 1 1\n",                    // fewer edges than declared
+      "q 1 2 3\n",                           // unknown tag
+  };
+  for (const char* text : cases) {
+    std::istringstream is(text);
+    EXPECT_THROW(graph::read_edge_list(is), std::exception)
+        << "accepted: " << text;
+  }
+}
+
+TEST(ParserFuzz, TextRandomGarbageNeverCrashes) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed * 31 + 5);
+    std::string text;
+    const std::size_t len = rng.next_below(400);
+    // Bias toward format-adjacent bytes so the parser gets past the first
+    // character often enough to stress the deeper paths.
+    const std::string alphabet = "pe 0123456789.-#\ninf nan";
+    for (std::size_t i = 0; i < len; ++i)
+      text.push_back(alphabet[rng.next_below(alphabet.size())]);
+    std::istringstream is(text);
+    try {
+      const Graph g = graph::read_edge_list(is);
+      EXPECT_LE(g.num_vertices(), graph::kMaxSerializedCount);
+    } catch (const std::exception&) {
+      // rejection is the expected outcome
+    }
+  }
+}
+
+TEST(ParserFuzz, BinaryRoundTripAcrossFamilies) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 5 + rng.next_below(120);
+    const std::size_t m =
+        std::min(10 + rng.next_below(300), n * (n - 1) / 2);
+    const Graph g = graph::gnm_random(n, m, rng, true,
+                                      graph::WeightSpec::uniform_real(0.1, 9));
+    EXPECT_TRUE(g == binary_graph(binary_bytes(g))) << "seed " << seed;
+  }
+  // Degenerate sizes round-trip too.
+  const Graph empty = graph::GraphBuilder(0).build();
+  EXPECT_TRUE(empty == binary_graph(binary_bytes(empty)));
+  util::Rng rng(3);
+  const Graph one = graph::random_tree(1, rng);
+  EXPECT_TRUE(one == binary_graph(binary_bytes(one)));
+}
+
+TEST(ParserFuzz, BinaryEveryTruncationThrows) {
+  util::Rng rng(11);
+  const Graph g = graph::random_tree(9, rng);
+  const std::string bytes = binary_bytes(g);
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_THROW(binary_graph(bytes.substr(0, len)), std::exception)
+        << "accepted prefix of length " << len;
+}
+
+TEST(ParserFuzz, BinaryBitFlipsThrow) {
+  util::Rng rng(13);
+  const Graph g = graph::random_tree(12, rng);
+  const std::string bytes = binary_bytes(g);
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      EXPECT_THROW(binary_graph(mutated), std::exception)
+          << "accepted flip at byte " << i << " bit " << bit;
+    }
+}
+
+TEST(ParserFuzz, BinaryLyingHeadersThrowWithoutAllocating) {
+  util::Rng rng(17);
+  const Graph g = graph::random_tree(6, rng);
+  const std::string bytes = binary_bytes(g);
+  const std::size_t n_off = 8, m_off = 16;
+
+  // Huge vertex count — checksum valid, must be rejected by the cap.
+  std::string huge_n = bytes;
+  poke_u64(huge_n, n_off, std::uint64_t{1} << 40);
+  fix_checksum(huge_n);
+  EXPECT_THROW(binary_graph(huge_n), std::exception);
+
+  // Huge edge count — byte-count cross-check must fire before any
+  // per-edge loop could walk off the end of the buffer.
+  std::string huge_m = bytes;
+  poke_u64(huge_m, m_off, std::uint64_t{1} << 40);
+  fix_checksum(huge_m);
+  EXPECT_THROW(binary_graph(huge_m), std::exception);
+
+  // Off-by-one edge count with a valid checksum.
+  std::string off_m = bytes;
+  poke_u64(off_m, m_off, g.num_edges() + 1);
+  fix_checksum(off_m);
+  EXPECT_THROW(binary_graph(off_m), std::exception);
+
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  fix_checksum(bad_magic);
+  EXPECT_THROW(binary_graph(bad_magic), std::exception);
+
+  // Non-finite weight in the first edge record, checksum made valid again:
+  // the weight validation itself must reject it.
+  std::string bad_weight = bytes;
+  poke_u64(bad_weight, 24 + 8, 0x7ff0000000000000ULL);  // +infinity
+  fix_checksum(bad_weight);
+  EXPECT_THROW(binary_graph(bad_weight), std::exception);
+}
+
+TEST(ParserFuzz, BinaryRandomGarbageNeverCrashes) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed * 97 + 1);
+    std::string bytes;
+    const std::size_t len = rng.next_below(300);
+    for (std::size_t i = 0; i < len; ++i)
+      bytes.push_back(static_cast<char>(rng.next_below(256)));
+    EXPECT_THROW(binary_graph(bytes), std::exception);
+  }
+}
+
+TEST(ParserFuzz, BinaryFileRoundTrip) {
+  util::Rng rng(23);
+  const Graph g = graph::random_tree(20, rng,
+                                     graph::WeightSpec::uniform_real(0.5, 4));
+  const std::string path = ::testing::TempDir() + "/pathsep_fuzz.bgraph";
+  graph::save_binary_graph(path, g);
+  EXPECT_TRUE(g == graph::load_binary_graph(path));
+  EXPECT_THROW(graph::load_binary_graph(path + ".missing"),
+               std::runtime_error);
+}
 
 }  // namespace
 }  // namespace pathsep

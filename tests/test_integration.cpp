@@ -175,8 +175,9 @@ TEST(PipelineFaults, TruncatedLabelsNeverUnderestimate) {
       }
       const Weight est = oracle::query_labels(crippled, oracle.label(v));
       const Weight truth = sssp::distance(gg.graph, u, v);
-      if (u != v && est != graph::kInfiniteWeight)
+      if (u != v && est != graph::kInfiniteWeight) {
         EXPECT_GE(est, truth - 1e-9);
+      }
     }
 }
 

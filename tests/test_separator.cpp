@@ -16,7 +16,9 @@ void expect_valid(const Graph& g, const PathSeparator& s,
                   std::size_t max_paths = 0) {
   const ValidationReport report = validate(g, s);
   EXPECT_TRUE(report.ok) << report.error;
-  if (max_paths > 0) EXPECT_LE(report.path_count, max_paths);
+  if (max_paths > 0) {
+    EXPECT_LE(report.path_count, max_paths);
+  }
 }
 
 TEST(PathSeparatorType, CountsAndVertices) {

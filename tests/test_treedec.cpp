@@ -125,7 +125,9 @@ TEST_P(CenterBagSweep, LemmaOneHoldsOnKTrees) {
   std::vector<bool> removed(n, false);
   for (Vertex v : td.bags[static_cast<std::size_t>(bag)]) removed[v] = true;
   const graph::Components comps = graph::connected_components(g, removed);
-  if (comps.count() > 0) EXPECT_LE(comps.largest(), n / 2);
+  if (comps.count() > 0) {
+    EXPECT_LE(comps.largest(), n / 2);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CenterBagSweep,
