@@ -1,0 +1,141 @@
+// E15 — end-to-end construction throughput of the parallel pipeline.
+//
+// Measures decomposition-tree build plus label build across thread counts on
+// the two heaviest families (grid, planar triangulation), records wall-clock
+// seconds and speedup over the single-threaded run, and hashes the serialized
+// labels per thread count to demonstrate the determinism guarantee: every
+// thread count must produce the same digest. Results go to stdout as a table
+// and to --out (default BENCH_build.json) as JSON for the repo record.
+//
+// Usage:
+//   bench_build [--out=BENCH_build.json] [--grid-side=320] [--planar-n=60000]
+//               [--threads=1,2,4,8] [--epsilon=0.5]
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "oracle/labels.hpp"
+#include "oracle/serialize.hpp"
+#include "util/args.hpp"
+
+namespace pathsep::bench {
+namespace {
+
+/// FNV-1a over the serialized labels — a stable digest of the whole oracle.
+std::uint64_t label_digest(const std::vector<oracle::DistanceLabel>& labels) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const oracle::DistanceLabel& label : labels)
+    for (std::uint8_t byte : oracle::serialize_label(label)) {
+      h ^= byte;
+      h *= 1099511628211ULL;
+    }
+  return h;
+}
+
+struct Run {
+  std::string family;
+  std::size_t n = 0;
+  std::size_t threads = 0;
+  double tree_seconds = 0;
+  double label_seconds = 0;
+  double speedup = 0;  ///< total vs the threads=1 total of the same family
+  std::uint64_t digest = 0;
+};
+
+Run measure(const Instance& inst, std::size_t threads, double epsilon) {
+  Run run;
+  run.family = inst.family;
+  run.n = inst.graph.num_vertices();
+  run.threads = threads;
+
+  hierarchy::DecompositionTree::Options options;
+  options.threads = threads;
+  util::Timer timer;
+  const hierarchy::DecompositionTree tree(inst.graph, *inst.finder, options);
+  run.tree_seconds = timer.elapsed_seconds();
+
+  timer.reset();
+  const auto labels = oracle::build_labels(tree, epsilon, threads);
+  run.label_seconds = timer.elapsed_seconds();
+  run.digest = label_digest(labels);
+  return run;
+}
+
+std::vector<std::size_t> parse_threads(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::istringstream in(spec);
+  std::string tok;
+  while (std::getline(in, tok, ','))
+    if (!tok.empty()) out.push_back(std::stoul(tok));
+  return out;
+}
+
+int run_main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const std::string out_path = args.get("out", "BENCH_build.json");
+  const std::size_t grid_side =
+      static_cast<std::size_t>(args.get_int("grid-side", 320));
+  const std::size_t planar_n =
+      static_cast<std::size_t>(args.get_int("planar-n", 60000));
+  const double epsilon = args.get_double("epsilon", 0.5);
+  const std::vector<std::size_t> thread_counts =
+      parse_threads(args.get("threads", "1,2,4,8"));
+  for (const std::string& flag : args.unused())
+    std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
+
+  section("E15", "end-to-end construction: tree + labels vs thread count");
+  std::printf("hardware_concurrency=%u\n",
+              std::thread::hardware_concurrency());
+
+  std::vector<Instance> instances;
+  instances.push_back(make_grid(grid_side));
+  instances.push_back(make_triangulation(planar_n, 12345));
+
+  util::TableWriter table(
+      {"family", "n", "threads", "tree_s", "labels_s", "total_s", "speedup",
+       "digest"});
+  std::vector<Run> runs;
+  for (const Instance& inst : instances) {
+    double serial_total = 0;
+    for (std::size_t threads : thread_counts) {
+      Run run = measure(inst, threads, epsilon);
+      const double total = run.tree_seconds + run.label_seconds;
+      if (threads == thread_counts.front()) serial_total = total;
+      run.speedup = total > 0 ? serial_total / total : 1.0;
+      table.add_row({inst.family, std::to_string(run.n),
+                     std::to_string(run.threads),
+                     util::strf("%.3f", run.tree_seconds),
+                     util::strf("%.3f", run.label_seconds),
+                     util::strf("%.3f", total), util::strf("%.2f", run.speedup),
+                     util::strf("%016llx",
+                                static_cast<unsigned long long>(run.digest))});
+      runs.push_back(run);
+    }
+  }
+  table.print(std::cout);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"bench_build\",\n  \"epsilon\": " << epsilon
+      << ",\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    out << "    {\"family\": \"" << r.family << "\", \"n\": " << r.n
+        << ", \"threads\": " << r.threads << ", \"tree_seconds\": "
+        << r.tree_seconds << ", \"label_seconds\": " << r.label_seconds
+        << ", \"speedup_vs_first\": " << r.speedup << ", \"label_digest\": \""
+        << std::hex << r.digest << std::dec << "\"}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathsep::bench
+
+int main(int argc, char** argv) { return pathsep::bench::run_main(argc, argv); }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds and runs the construction-throughput benchmark (bench/bench_build.cpp)
+# and records the results as BENCH_build.json at the repository root. Extra
+# arguments are forwarded to the binary, e.g.:
+#
+#   scripts/bench_build.sh                         # default sizes and threads
+#   scripts/bench_build.sh --grid-side=128 --threads=1,4
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+cmake --preset release
+cmake --build build -j "$JOBS" --target bench_build
+./build/bench/bench_build --out=BENCH_build.json "$@"

@@ -9,7 +9,8 @@
 #   release  strict-warnings (-Werror) build, ctest twice — plain and with
 #            PATHSEP_AUDIT=1 so every deep invariant validator runs
 #   asan     AddressSanitizer + UndefinedBehaviorSanitizer build, full ctest
-#   tsan     ThreadSanitizer build, ctest -L service (the concurrent layer)
+#   tsan     ThreadSanitizer build, ctest -L 'service|parallel' (the
+#            concurrent query layer plus the parallel construction pipeline)
 #   tidy     clang-tidy over src/ via the `tidy` target (no-op with a notice
 #            when clang-tidy is not installed)
 #
@@ -47,10 +48,10 @@ if want asan; then
 fi
 
 if want tsan; then
-  banner "tsan: ThreadSanitizer build + ctest -L service"
+  banner "tsan: ThreadSanitizer build + ctest -L 'service|parallel'"
   cmake --preset tsan
   cmake --build build-tsan -j "$JOBS"
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L service
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'service|parallel'
 fi
 
 if want tidy; then

@@ -1,5 +1,9 @@
 #include "hierarchy/decomposition_tree.hpp"
 
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
@@ -8,8 +12,94 @@
 #include "graph/connectivity.hpp"
 #include "graph/subgraph.hpp"
 #include "separator/validate.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pathsep::hierarchy {
+
+namespace {
+
+constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+/// One node of the build-order tree. Build ids are assigned in completion
+/// order (scheduler-dependent); the deterministic final numbering happens in
+/// a serial BFS pass once every node is built.
+struct BuildNode {
+  Graph graph;
+  std::vector<Vertex> root_ids;
+  std::vector<NodePath> paths;
+  std::size_t num_stages = 0;
+  std::size_t parent = kNoParent;     ///< build id of the parent
+  std::uint32_t depth = 0;
+  std::vector<std::size_t> children;  ///< build ids, in component order
+};
+
+/// Separates one node: separator search, optional Definition-1 validation,
+/// path/prefix assembly, component split, and child subgraph extraction.
+/// Pure function of the node — safe to run concurrently for distinct nodes.
+std::vector<std::unique_ptr<BuildNode>> process_node(
+    BuildNode& bn, const separator::SeparatorFinder& finder,
+    const DecompositionTree::Options& options) {
+  const std::size_t n = bn.graph.num_vertices();
+
+  const separator::PathSeparator sep = finder.find(bn.graph, bn.root_ids);
+  if (sep.empty())
+    throw std::runtime_error("separator finder returned an empty separator");
+  if (options.validate_separators) {
+    const separator::ValidationReport report =
+        separator::validate(bn.graph, sep);
+    if (!report.ok)
+      throw std::runtime_error(
+          "separator validation failed at depth " + std::to_string(bn.depth) +
+          " (subtree of root vertex " + std::to_string(bn.root_ids[0]) +
+          "): " + report.error);
+  }
+
+  bn.num_stages = sep.stages.size();
+  for (std::size_t si = 0; si < sep.stages.size(); ++si) {
+    for (const auto& path : sep.stages[si]) {
+      NodePath np;
+      np.verts = path;
+      np.stage = si;
+      np.prefix.resize(path.size());
+      np.prefix[0] = 0;
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        const Weight w = bn.graph.edge_weight(path[i - 1], path[i]);
+        if (w == graph::kInfiniteWeight)
+          throw std::runtime_error("separator path uses a missing edge");
+        np.prefix[i] = np.prefix[i - 1] + w;
+      }
+      bn.paths.push_back(std::move(np));
+    }
+  }
+
+  // Children: components of the node minus its separator, in label order —
+  // the order that fixes the deterministic final numbering.
+  const std::vector<bool> mask = sep.removal_mask(n);
+  const graph::Components comps = graph::connected_components(bn.graph, mask);
+  std::vector<std::vector<Vertex>> members(comps.count());
+  for (Vertex v = 0; v < n; ++v)
+    if (comps.label[v] != graph::Components::kRemoved)
+      members[comps.label[v]].push_back(v);
+  std::vector<std::unique_ptr<BuildNode>> kids;
+  kids.reserve(members.size());
+  for (auto& m : members) {
+    if (m.size() > n / 2)
+      throw std::runtime_error(
+          "separator left a component larger than n/2 (P3 violated)");
+    graph::Subgraph sub = graph::induced_subgraph(bn.graph, std::move(m));
+    auto kid = std::make_unique<BuildNode>();
+    kid->root_ids.resize(sub.graph.num_vertices());
+    for (Vertex v = 0; v < sub.graph.num_vertices(); ++v)
+      kid->root_ids[v] = bn.root_ids[sub.to_parent[v]];
+    kid->graph = std::move(sub.graph);
+    kid->depth = bn.depth + 1;
+    kids.push_back(std::move(kid));
+  }
+  return kids;
+}
+
+}  // namespace
 
 DecompositionTree::DecompositionTree(const Graph& g,
                                      const separator::SeparatorFinder& finder,
@@ -21,86 +111,123 @@ DecompositionTree::DecompositionTree(const Graph& g,
 
   chains_.assign(g.num_vertices(), {});
 
-  struct Pending {
-    Graph graph;
-    std::vector<Vertex> root_ids;
-    int parent;
-    std::uint32_t depth;
-  };
-  std::vector<Vertex> identity(g.num_vertices());
-  std::iota(identity.begin(), identity.end(), Vertex{0});
-  std::vector<Pending> queue;
-  queue.push_back({g, std::move(identity), -1, 0});
+  // ---- Task-parallel build -------------------------------------------------
+  // Sibling subtrees are independent, so pending nodes form a work queue
+  // drained by the calling thread plus helpers on the shared pool. Build ids
+  // are completion-ordered and therefore scheduler-dependent; determinism is
+  // recovered below by renumbering along (parent, component index) BFS order,
+  // which reproduces the serial construction's ids exactly.
+  std::mutex mutex;
+  std::condition_variable work_cv;  // ready item appended, failure, or done
+  std::condition_variable done_cv;  // a helper exited
+  std::vector<std::unique_ptr<BuildNode>> built;
+  std::deque<std::size_t> ready;
+  std::size_t unfinished = 1;  // nodes created but not fully processed
+  std::size_t helpers_live = 0;
+  bool failed = false;
+  std::exception_ptr error;
 
-  // Breadth-first so that chain entries are appended root-first.
-  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
-    Pending pending = std::move(queue[qi]);
-    const int id = static_cast<int>(nodes_.size());
-    const std::size_t n = pending.graph.num_vertices();
-
-    const separator::PathSeparator sep =
-        finder.find(pending.graph, pending.root_ids);
-    if (sep.empty())
-      throw std::runtime_error("separator finder returned an empty separator");
-    if (options.validate_separators) {
-      const separator::ValidationReport report =
-          separator::validate(pending.graph, sep);
-      if (!report.ok)
-        throw std::runtime_error("separator validation failed at node " +
-                                 std::to_string(id) + ": " + report.error);
-    }
-
-    DecompositionNode node;
-    node.parent = pending.parent;
-    node.depth = pending.depth;
-    node.num_stages = sep.stages.size();
-    for (std::size_t si = 0; si < sep.stages.size(); ++si) {
-      for (const auto& path : sep.stages[si]) {
-        NodePath np;
-        np.verts = path;
-        np.stage = si;
-        np.prefix.resize(path.size());
-        np.prefix[0] = 0;
-        for (std::size_t i = 1; i < path.size(); ++i) {
-          const Weight w = pending.graph.edge_weight(path[i - 1], path[i]);
-          if (w == graph::kInfiniteWeight)
-            throw std::runtime_error("separator path uses a missing edge");
-          np.prefix[i] = np.prefix[i - 1] + w;
-        }
-        node.paths.push_back(std::move(np));
-      }
-    }
-
-    for (Vertex v = 0; v < n; ++v)
-      chains_[pending.root_ids[v]].push_back({id, v});
-    height_ = std::max(height_, pending.depth + 1);
-
-    // Children: components of the node minus its separator.
-    const std::vector<bool> mask = sep.removal_mask(n);
-    const graph::Components comps =
-        graph::connected_components(pending.graph, mask);
-    std::vector<std::vector<Vertex>> members(comps.count());
-    for (Vertex v = 0; v < n; ++v)
-      if (comps.label[v] != graph::Components::kRemoved)
-        members[comps.label[v]].push_back(v);
-    for (auto& m : members) {
-      if (m.size() > n / 2)
-        throw std::runtime_error(
-            "separator left a component larger than n/2 (P3 violated)");
-      graph::Subgraph sub = graph::induced_subgraph(pending.graph, std::move(m));
-      std::vector<Vertex> child_root_ids(sub.graph.num_vertices());
-      for (Vertex v = 0; v < sub.graph.num_vertices(); ++v)
-        child_root_ids[v] = pending.root_ids[sub.to_parent[v]];
-      queue.push_back({std::move(sub.graph), std::move(child_root_ids), id,
-                       pending.depth + 1});
-    }
-
-    node.graph = std::move(pending.graph);
-    node.root_ids = std::move(pending.root_ids);
-    nodes_.push_back(std::move(node));
+  {
+    auto root = std::make_unique<BuildNode>();
+    root->graph = g;
+    root->root_ids.resize(g.num_vertices());
+    std::iota(root->root_ids.begin(), root->root_ids.end(), Vertex{0});
+    built.push_back(std::move(root));
+    ready.push_back(0);
   }
 
-  // Children ids were not known while parents were processed; wire them now.
+  auto worker = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_cv.wait(lock,
+                   [&] { return failed || unfinished == 0 || !ready.empty(); });
+      if (failed || unfinished == 0) return;
+      const std::size_t b = ready.front();
+      ready.pop_front();
+      BuildNode& bn = *built[b];  // stable address: built holds unique_ptrs
+      lock.unlock();
+
+      std::vector<std::unique_ptr<BuildNode>> kids;
+      try {
+        kids = process_node(bn, finder, options);
+      } catch (...) {
+        lock.lock();
+        if (!failed) {
+          failed = true;
+          error = std::current_exception();
+        }
+        work_cv.notify_all();
+        return;
+      }
+
+      lock.lock();
+      for (auto& kid : kids) {
+        kid->parent = b;
+        const std::size_t id = built.size();
+        bn.children.push_back(id);
+        built.push_back(std::move(kid));
+        ready.push_back(id);
+        ++unfinished;
+      }
+      --unfinished;
+      if (unfinished == 0 || !ready.empty()) work_cv.notify_all();
+    }
+  };
+
+  const std::size_t threads =
+      options.threads ? options.threads : util::default_threads();
+  // Nested builds (inside a pool worker) run serially on the caller — the
+  // same no-deadlock rule util::parallel_for follows.
+  if (threads > 1 && !util::ThreadPool::in_worker()) {
+    util::ThreadPool& pool = util::shared_pool();
+    const std::size_t helpers = std::min(threads - 1, pool.num_threads());
+    helpers_live = helpers;
+    for (std::size_t h = 0; h < helpers; ++h)
+      pool.submit([&] {
+        worker();
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--helpers_live == 0) done_cv.notify_all();
+      });
+  }
+  worker();
+  {
+    // Helpers reference this frame's state; they must exit before we leave —
+    // on the failure path too.
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return helpers_live == 0; });
+  }
+  if (error) std::rethrow_exception(error);
+
+  // ---- Deterministic numbering --------------------------------------------
+  // FIFO BFS over the build tree with children in component order is exactly
+  // the order the serial loop processed nodes in, so ids — and with them
+  // chains, labels, and serialized oracles — are byte-identical for every
+  // thread count.
+  std::vector<std::size_t> order;  // final id -> build id
+  order.reserve(built.size());
+  order.push_back(0);
+  for (std::size_t qi = 0; qi < order.size(); ++qi)
+    for (std::size_t child : built[order[qi]]->children)
+      order.push_back(child);
+  std::vector<int> final_id(built.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    final_id[order[i]] = static_cast<int>(i);
+
+  nodes_.reserve(order.size());
+  for (std::size_t id = 0; id < order.size(); ++id) {
+    BuildNode& bn = *built[order[id]];
+    DecompositionNode node;
+    node.parent = bn.parent == kNoParent ? -1 : final_id[bn.parent];
+    node.depth = bn.depth;
+    node.num_stages = bn.num_stages;
+    node.paths = std::move(bn.paths);
+    for (Vertex v = 0; v < bn.graph.num_vertices(); ++v)
+      chains_[bn.root_ids[v]].push_back({static_cast<int>(id), v});
+    height_ = std::max(height_, bn.depth + 1);
+    node.graph = std::move(bn.graph);
+    node.root_ids = std::move(bn.root_ids);
+    nodes_.push_back(std::move(node));
+  }
   for (std::size_t i = 1; i < nodes_.size(); ++i)
     nodes_[static_cast<std::size_t>(nodes_[i].parent)].children.push_back(
         static_cast<int>(i));

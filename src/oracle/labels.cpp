@@ -76,7 +76,8 @@ Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
 }
 
 std::vector<DistanceLabel> build_labels(
-    const hierarchy::DecompositionTree& tree, double epsilon) {
+    const hierarchy::DecompositionTree& tree, double epsilon,
+    std::size_t threads) {
   const std::size_t n = tree.root_graph().num_vertices();
   std::vector<DistanceLabel> labels(n);
   for (Vertex v = 0; v < n; ++v) labels[v].vertex = v;
@@ -84,10 +85,13 @@ std::vector<DistanceLabel> build_labels(
   // Per-node connection computation is independent — run it in parallel,
   // then assemble labels serially for a deterministic part order.
   std::vector<NodeConnections> per_node(tree.nodes().size());
-  util::parallel_for(tree.nodes().size(), [&](std::size_t node_id) {
-    per_node[node_id] =
-        compute_connections(tree.node(static_cast<int>(node_id)), epsilon);
-  });
+  util::parallel_for(
+      tree.nodes().size(),
+      [&](std::size_t node_id) {
+        per_node[node_id] =
+            compute_connections(tree.node(static_cast<int>(node_id)), epsilon);
+      },
+      threads);
 
   for (std::size_t node_id = 0; node_id < tree.nodes().size(); ++node_id) {
     const hierarchy::DecompositionNode& node =

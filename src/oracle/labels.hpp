@@ -44,8 +44,11 @@ struct DistanceLabel {
 Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
                     std::size_t* visited = nullptr);
 
-/// Builds all labels of the graph underlying `tree`.
+/// Builds all labels of the graph underlying `tree`. Per-node connection
+/// computation fans out over `threads` workers of the shared pool (0 =
+/// util::default_threads()); the result is identical for every thread count.
 std::vector<DistanceLabel> build_labels(
-    const hierarchy::DecompositionTree& tree, double epsilon);
+    const hierarchy::DecompositionTree& tree, double epsilon,
+    std::size_t threads = 0);
 
 }  // namespace pathsep::oracle

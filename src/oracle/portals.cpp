@@ -10,6 +10,7 @@
 #include "check/audit_oracle.hpp"
 #include "check/check.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/workspace.hpp"
 
 namespace pathsep::oracle {
 
@@ -167,44 +168,76 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
   const std::size_t n = node.graph.num_vertices();
   NodeConnections out;
   out.connections.resize(node.paths.size());
+  for (auto& lists : out.connections) lists.assign(n, {});
 
-  for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
-    const hierarchy::NodePath& path = node.paths[pi];
-    const std::vector<bool> removed = stage_mask(node, path.stage);
-    const PathProjection proj = project_path(node.graph, path, removed);
-
-    auto& lists = out.connections[pi];
-    lists.assign(n, {});
-
-    // Ladder selection per vertex; group requests per distinct portal index.
-    std::unordered_map<std::uint32_t, std::vector<Vertex>> requests;
-    for (Vertex v = 0; v < n; ++v) {
-      if (proj.dist[v] == graph::kInfiniteWeight) continue;
-      const std::vector<std::uint32_t> ladder =
-          epsilon_ladder(path.prefix, proj.anchor[v], proj.dist[v], epsilon);
-      for (std::uint32_t idx : ladder) requests[idx].push_back(v);
-    }
-
-    // One masked Dijkstra per distinct portal vertex serves all requesters.
-    for (const auto& [idx, verts] : requests) {
-      const Vertex portal = path.verts[idx];
-      const Vertex sources[] = {portal};
-      const sssp::ShortestPaths sp =
-          sssp::dijkstra_masked(node.graph, sources, removed);
-      for (Vertex v : verts) {
-        assert(sp.reached(v));
-        // sp.parent[v] is v's predecessor on the portal->v path, i.e. v's
-        // first hop when walking toward the portal.
-        lists[v].push_back(Connection{idx, sp.parent[v], sp.dist[v],
-                                      path.prefix[idx]});
+  // Paths are processed stage by stage: all paths of one stage share the
+  // same residual graph (vertices of strictly earlier stages removed), so
+  // the mask is built once per stage — incrementally — and a portal vertex
+  // requested through several paths of the stage is solved by a single
+  // masked Dijkstra instead of one per (path, portal) pair.
+  std::vector<bool> removed(n, false);
+  sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
+  const std::size_t num_stages = std::max<std::size_t>(node.num_stages, 1);
+  for (std::size_t stage = 0; stage < num_stages; ++stage) {
+    struct Request {
+      std::uint32_t path;  ///< index into node.paths
+      std::uint32_t idx;   ///< portal's index into that path's verts
+      Vertex v;            ///< requesting vertex
+    };
+    std::unordered_map<Vertex, std::vector<Request>> requests;
+    std::vector<Vertex> portals;  // distinct, in first-request order
+    for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
+      const hierarchy::NodePath& path = node.paths[pi];
+      if (path.stage != stage) continue;
+      const PathProjection proj = project_path(node.graph, path, removed);
+      for (Vertex v = 0; v < n; ++v) {
+        if (proj.dist[v] == graph::kInfiniteWeight) continue;
+        const std::vector<std::uint32_t> ladder =
+            epsilon_ladder(path.prefix, proj.anchor[v], proj.dist[v], epsilon);
+        for (std::uint32_t idx : ladder) {
+          auto [it, inserted] = requests.try_emplace(path.verts[idx]);
+          if (inserted) portals.push_back(path.verts[idx]);
+          it->second.push_back(
+              {static_cast<std::uint32_t>(pi), idx, v});
+        }
       }
     }
+
+    // One masked Dijkstra per distinct portal vertex per residual graph,
+    // reusing the thread's workspace; results are read out before the next
+    // run recycles it. Portals are solved in vertex-id order so the
+    // connection assembly is deterministic by construction, not by hash
+    // iteration order.
+    std::sort(portals.begin(), portals.end());
+    for (const Vertex portal : portals) {
+      const Vertex sources[] = {portal};
+      sssp::dijkstra_masked(node.graph, sources, removed, ws);
+      for (const Request& req : requests.find(portal)->second) {
+        assert(ws.reached(req.v));
+        // ws.parent(v) is v's predecessor on the portal->v path, i.e. v's
+        // first hop when walking toward the portal.
+        out.connections[req.path][req.v].push_back(
+            Connection{req.idx, ws.parent(req.v), ws.dist(req.v),
+                       node.paths[req.path].prefix[req.idx]});
+      }
+    }
+
+    // This stage's paths join the mask for the next stage's residual graph.
+    for (const hierarchy::NodePath& path : node.paths)
+      if (path.stage == stage)
+        for (Vertex v : path.verts) removed[v] = true;
+  }
+
+  // Sort by (prefix, portal index): prefix is the query key, and the index
+  // tie-break keeps equal-prefix portals (zero-weight edges) in a canonical
+  // strictly-increasing-index order.
+  for (auto& lists : out.connections)
     for (Vertex v = 0; v < n; ++v)
       std::sort(lists[v].begin(), lists[v].end(),
                 [](const Connection& a, const Connection& b) {
-                  return a.prefix < b.prefix;
+                  return a.prefix < b.prefix ||
+                         (a.prefix == b.prefix && a.path_index < b.path_index);
                 });
-  }
   PATHSEP_AUDIT(check::audit_connections(node, out));
   return out;
 }

@@ -3,6 +3,7 @@
 #include "graph/connectivity.hpp"
 #include "separator/finders.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace pathsep::separator {
@@ -32,22 +33,24 @@ PathSeparator GreedyPathSeparator::find(const Graph& g,
       if (comps.label[v] == big) members.push_back(v);
     const Vertex start = members[rng.next_below(members.size())];
 
+    // The double sweep reuses the thread's workspace: after the second
+    // sweep the path is extracted from it before any further sssp call.
+    sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
     auto farthest = [&](Vertex from) {
       const Vertex src[] = {from};
-      const sssp::ShortestPaths sp = sssp::dijkstra_masked(g, src, removed);
+      sssp::dijkstra_masked(g, src, removed, ws);
       Vertex far = from;
       graph::Weight far_dist = 0;
       for (Vertex v : members)
-        if (sp.dist[v] != graph::kInfiniteWeight && sp.dist[v] > far_dist) {
-          far_dist = sp.dist[v];
+        if (ws.dist(v) != graph::kInfiniteWeight && ws.dist(v) > far_dist) {
+          far_dist = ws.dist(v);
           far = v;
         }
-      return std::pair{far, sp};
+      return far;
     };
-    const auto [a, sp_from_start] = farthest(start);
-    (void)sp_from_start;
-    const auto [b, sp_from_a] = farthest(a);
-    const std::vector<Vertex> path = sssp::extract_path(sp_from_a, b);
+    const Vertex a = farthest(start);
+    const Vertex b = farthest(a);
+    const std::vector<Vertex> path = sssp::extract_path(ws, b);
 
     // One path per stage: each is a genuine shortest path in the residual
     // graph, so Definition 1 (P1) holds by construction.
@@ -82,14 +85,15 @@ PathSeparator StrongGreedySeparator::find(const Graph& g,
       if (comps.label[v] == big) members.push_back(v);
     // Far pair inside the residual component (masked double sweep) ...
     const Vertex start = members[rng.next_below(members.size())];
+    sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
     auto farthest = [&](Vertex from) {
       const Vertex src[] = {from};
-      const sssp::ShortestPaths sp = sssp::dijkstra_masked(g, src, removed);
+      sssp::dijkstra_masked(g, src, removed, ws);
       Vertex far = from;
       graph::Weight far_dist = 0;
       for (Vertex v : members)
-        if (sp.dist[v] != graph::kInfiniteWeight && sp.dist[v] > far_dist) {
-          far_dist = sp.dist[v];
+        if (ws.dist(v) != graph::kInfiniteWeight && ws.dist(v) > far_dist) {
+          far_dist = ws.dist(v);
           far = v;
         }
       return far;
@@ -99,8 +103,8 @@ PathSeparator StrongGreedySeparator::find(const Graph& g,
     // ... but the removed path must be shortest in the ORIGINAL graph: a
     // strong separator has a single stage (§5.2), so no residual shortcuts
     // are allowed.
-    const sssp::ShortestPaths sp = sssp::dijkstra(g, a);
-    const std::vector<Vertex> path = sssp::extract_path(sp, b);
+    sssp::dijkstra(g, a, ws);
+    const std::vector<Vertex> path = sssp::extract_path(ws, b);
     // Progress: a and b were alive, so at least they get removed.
     stage.push_back(path);
     for (Vertex v : path) removed[v] = true;

@@ -5,6 +5,7 @@
 
 #include "graph/connectivity.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/workspace.hpp"
 #include "util/table.hpp"
 
 namespace pathsep::separator {
@@ -42,10 +43,12 @@ ValidationReport validate(const Graph& g, const PathSeparator& s) {
         cost += w;
       }
       // Minimality in the residual graph (P1): compare against Dijkstra
-      // from the first endpoint with earlier stages masked out.
+      // from the first endpoint with earlier stages masked out. The reused
+      // workspace keeps hierarchy-wide validation allocation-free.
       const Vertex src[] = {path.front()};
-      const sssp::ShortestPaths sp = sssp::dijkstra_masked(g, src, removed);
-      const graph::Weight best = sp.dist[path.back()];
+      sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
+      sssp::dijkstra_masked(g, src, removed, ws);
+      const graph::Weight best = ws.dist(path.back());
       if (!(cost <= best * (1 + 1e-9) + 1e-9))
         return fail(util::strf(
             "%s: cost %.12g exceeds residual shortest-path distance %.12g",

@@ -1,65 +1,12 @@
-// Persistent worker thread pool for the query service layer.
-//
-// util::parallel_for spawns and joins threads per call, which is fine for a
-// one-shot oracle build but hopeless for serving: a query takes microseconds
-// and thread creation takes tens of them. ThreadPool keeps its workers alive
-// for the lifetime of the engine and feeds them through a mutex-protected
-// task queue, so per-task dispatch cost is one lock + one condition-variable
-// signal, amortized further by the engine's batching.
+// Compatibility shim: ThreadPool moved to util/ so the construction pipeline
+// (util::parallel_for, the parallel decomposition build) can share one
+// process-wide pool with the serving layer. Service code keeps its spelling.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "util/thread_pool.hpp"
 
 namespace pathsep::service {
 
-/// Fixed-size pool of persistent workers draining a FIFO task queue.
-/// Tasks must not throw (an escaping exception terminates the process, as
-/// with std::thread); service tasks report failures through their results.
-class ThreadPool {
- public:
-  /// `threads` = 0 uses util::default_threads() (hardware concurrency,
-  /// overridable via the PATHSEP_THREADS environment variable).
-  explicit ThreadPool(std::size_t threads = 0);
-
-  /// Drains the queue, then joins all workers.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues a task; wakes one idle worker.
-  void submit(std::function<void()> task);
-
-  /// Blocks until the queue is empty and every worker is idle.
-  void wait_idle();
-
-  std::size_t num_threads() const { return workers_.size(); }
-
-  /// Tasks currently queued (not yet picked up); for tests and metrics.
-  std::size_t queued() const;
-
-  /// Deep invariant audit: workers exist, active task count is within the
-  /// worker count, no queued task is null, and a stopped pool accepts no new
-  /// work. Fails via PATHSEP_ASSERT; see check/audit_service.hpp.
-  void audit() const;
-
- private:
-  void worker_loop();
-  void audit_locked() const;  ///< audit() body; caller holds mutex_
-
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< signals workers: task or stop
-  std::condition_variable idle_cv_;   ///< signals wait_idle: all drained
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;  ///< workers currently running a task
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
+using util::ThreadPool;  // NOLINT(misc-unused-using-decls)
 
 }  // namespace pathsep::service

@@ -2,52 +2,73 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 #include <stdexcept>
+
+#include "sssp/workspace.hpp"
 
 namespace pathsep::sssp {
 
 namespace {
 
-struct QueueEntry {
-  Weight dist;
-  Vertex v;
-  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
-};
+// Min-heap over (dist, vertex) with a total order: ties on distance break
+// toward the smaller vertex id, so settle order — and therefore parent
+// choices on equal-length paths — is canonical and independent of thread
+// count or workspace history.
+bool heap_after(const DijkstraWorkspace::HeapEntry& a,
+                const DijkstraWorkspace::HeapEntry& b) {
+  return a.dist > b.dist || (a.dist == b.dist && a.v > b.v);
+}
 
-using MinQueue =
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
-
-ShortestPaths run(const Graph& g, std::span<const Vertex> sources,
-                  const std::vector<bool>* removed, Weight radius,
-                  Vertex target) {
+/// The one Dijkstra loop. Settles into `ws` (lazy-reset arrays, reused heap);
+/// allocation-free once the workspace has grown to the graph size.
+void run(const Graph& g, std::span<const Vertex> sources,
+         const std::vector<bool>* removed, Weight radius, Vertex target,
+         DijkstraWorkspace& ws) {
   const std::size_t n = g.num_vertices();
-  ShortestPaths sp;
-  sp.dist.assign(n, graph::kInfiniteWeight);
-  sp.parent.assign(n, graph::kInvalidVertex);
-  MinQueue queue;
+  ws.begin(n);
+  std::vector<DijkstraWorkspace::HeapEntry>& heap = ws.heap();
   for (Vertex s : sources) {
     assert(s < n);
     assert(!removed || !(*removed)[s]);
-    if (sp.dist[s] == 0) continue;
-    sp.dist[s] = 0;
-    queue.push({0, s});
+    if (ws.dist(s) == 0) continue;
+    ws.update(s, 0, graph::kInvalidVertex);
+    heap.push_back({0, s});
+    std::push_heap(heap.begin(), heap.end(), heap_after);
   }
-  while (!queue.empty()) {
-    const auto [d, v] = queue.top();
-    queue.pop();
-    if (d > sp.dist[v]) continue;  // stale entry
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_after);
+    const auto [d, v] = heap.back();
+    heap.pop_back();
+    if (d > ws.dist(v)) continue;  // stale entry
     if (d > radius) break;
     if (v == target) break;
     for (const graph::Arc& a : g.neighbors(v)) {
       if (removed && (*removed)[a.to]) continue;
       const Weight nd = d + a.weight;
-      if (nd < sp.dist[a.to]) {
-        sp.dist[a.to] = nd;
-        sp.parent[a.to] = v;
-        queue.push({nd, a.to});
+      if (nd < ws.dist(a.to)) {
+        ws.update(a.to, nd, v);
+        heap.push_back({nd, a.to});
+        std::push_heap(heap.begin(), heap.end(), heap_after);
       }
     }
+  }
+}
+
+/// Legacy dense-output path: run in the thread's workspace, then export.
+/// The two O(n) export writes cost what the old per-call array clears did,
+/// so callers of the ShortestPaths API are no worse off than before.
+ShortestPaths run_dense(const Graph& g, std::span<const Vertex> sources,
+                        const std::vector<bool>* removed, Weight radius,
+                        Vertex target) {
+  DijkstraWorkspace& ws = thread_workspace();
+  run(g, sources, removed, radius, target, ws);
+  const std::size_t n = g.num_vertices();
+  ShortestPaths sp;
+  sp.dist.resize(n);
+  sp.parent.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    sp.dist[v] = ws.dist(v);
+    sp.parent[v] = ws.parent(v);
   }
   return sp;
 }
@@ -56,28 +77,49 @@ ShortestPaths run(const Graph& g, std::span<const Vertex> sources,
 
 ShortestPaths dijkstra(const Graph& g, Vertex source) {
   const Vertex sources[] = {source};
-  return run(g, sources, nullptr, graph::kInfiniteWeight, graph::kInvalidVertex);
+  return run_dense(g, sources, nullptr, graph::kInfiniteWeight,
+                   graph::kInvalidVertex);
 }
 
 ShortestPaths dijkstra(const Graph& g, std::span<const Vertex> sources) {
-  return run(g, sources, nullptr, graph::kInfiniteWeight, graph::kInvalidVertex);
+  return run_dense(g, sources, nullptr, graph::kInfiniteWeight,
+                   graph::kInvalidVertex);
 }
 
 ShortestPaths dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
                               const std::vector<bool>& removed) {
   assert(removed.empty() || removed.size() == g.num_vertices());
-  return run(g, sources, removed.empty() ? nullptr : &removed,
-             graph::kInfiniteWeight, graph::kInvalidVertex);
+  return run_dense(g, sources, removed.empty() ? nullptr : &removed,
+                   graph::kInfiniteWeight, graph::kInvalidVertex);
 }
 
 ShortestPaths dijkstra_bounded(const Graph& g, Vertex source, Weight radius) {
   const Vertex sources[] = {source};
-  return run(g, sources, nullptr, radius, graph::kInvalidVertex);
+  return run_dense(g, sources, nullptr, radius, graph::kInvalidVertex);
+}
+
+void dijkstra(const Graph& g, Vertex source, DijkstraWorkspace& ws) {
+  const Vertex sources[] = {source};
+  run(g, sources, nullptr, graph::kInfiniteWeight, graph::kInvalidVertex, ws);
+}
+
+void dijkstra(const Graph& g, std::span<const Vertex> sources,
+              DijkstraWorkspace& ws) {
+  run(g, sources, nullptr, graph::kInfiniteWeight, graph::kInvalidVertex, ws);
+}
+
+void dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
+                     const std::vector<bool>& removed, DijkstraWorkspace& ws) {
+  assert(removed.empty() || removed.size() == g.num_vertices());
+  run(g, sources, removed.empty() ? nullptr : &removed,
+      graph::kInfiniteWeight, graph::kInvalidVertex, ws);
 }
 
 Weight distance(const Graph& g, Vertex s, Vertex t) {
   const Vertex sources[] = {s};
-  return run(g, sources, nullptr, graph::kInfiniteWeight, t).dist[t];
+  DijkstraWorkspace& ws = thread_workspace();
+  run(g, sources, nullptr, graph::kInfiniteWeight, t, ws);
+  return ws.dist(t);
 }
 
 std::vector<Vertex> extract_path(const ShortestPaths& sp, Vertex t) {
@@ -86,6 +128,18 @@ std::vector<Vertex> extract_path(const ShortestPaths& sp, Vertex t) {
   for (Vertex v = t; v != graph::kInvalidVertex; v = sp.parent[v]) {
     path.push_back(v);
     if (path.size() > sp.parent.size())
+      throw std::logic_error("parent cycle in shortest-path tree");
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<Vertex> extract_path(const DijkstraWorkspace& ws, Vertex t) {
+  if (!ws.reached(t)) return {};
+  std::vector<Vertex> path;
+  for (Vertex v = t; v != graph::kInvalidVertex; v = ws.parent(v)) {
+    path.push_back(v);
+    if (path.size() > ws.num_vertices())
       throw std::logic_error("parent cycle in shortest-path tree");
   }
   std::reverse(path.begin(), path.end());

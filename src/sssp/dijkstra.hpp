@@ -1,4 +1,14 @@
 // Single- and multi-source shortest paths (non-negative weights).
+//
+// Two API layers share one Dijkstra core:
+//   * the ShortestPaths-returning functions allocate dense result arrays —
+//     convenient, and right for callers that keep the whole tree around;
+//   * the DijkstraWorkspace overloads settle into a reusable workspace
+//     (see workspace.hpp) with O(1) reset — the construction hot paths
+//     (separator finders, portal computation) use these to avoid the
+//     per-call O(n) clears.
+// Ties on distance settle toward the smaller vertex id, so results are
+// canonical: independent of workspace history and of thread count.
 #pragma once
 
 #include <span>
@@ -11,6 +21,8 @@ namespace pathsep::sssp {
 using graph::Graph;
 using graph::Vertex;
 using graph::Weight;
+
+class DijkstraWorkspace;
 
 /// Distances and shortest-path-tree parents from one or more sources.
 /// Unreached vertices have dist == kInfiniteWeight and parent ==
@@ -38,12 +50,23 @@ ShortestPaths dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
 /// vertices beyond the radius may remain unreached.
 ShortestPaths dijkstra_bounded(const Graph& g, Vertex source, Weight radius);
 
+/// Workspace-reusing variants: results live in `ws` (dist/parent/reached
+/// accessors) until its next run; no per-call allocation or O(n) clearing.
+void dijkstra(const Graph& g, Vertex source, DijkstraWorkspace& ws);
+void dijkstra(const Graph& g, std::span<const Vertex> sources,
+              DijkstraWorkspace& ws);
+void dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
+                     const std::vector<bool>& removed, DijkstraWorkspace& ws);
+
 /// Point-to-point distance with early exit at the target.
 Weight distance(const Graph& g, Vertex s, Vertex t);
 
 /// Path from the tree root (the source that reached `t`) to `t`, inclusive.
 /// Empty if t is unreached.
 std::vector<Vertex> extract_path(const ShortestPaths& sp, Vertex t);
+
+/// Same, reading the workspace of the run that settled `t`.
+std::vector<Vertex> extract_path(const DijkstraWorkspace& ws, Vertex t);
 
 /// Cost of a vertex path in g (consecutive vertices must be adjacent).
 Weight path_cost(const Graph& g, std::span<const Vertex> path);

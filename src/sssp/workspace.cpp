@@ -1,0 +1,10 @@
+#include "sssp/workspace.hpp"
+
+namespace pathsep::sssp {
+
+DijkstraWorkspace& thread_workspace() {
+  static thread_local DijkstraWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace pathsep::sssp

@@ -1,0 +1,89 @@
+// Reusable single-source shortest-path scratch space.
+//
+// Every Dijkstra call used to allocate and zero two O(n) arrays (dist,
+// parent) plus a heap; on the construction hot paths — separator finders
+// probing residual graphs, one masked run per distinct portal vertex in the
+// oracle build — those clears dominate once the per-run settled set is small.
+// DijkstraWorkspace keeps the arrays alive across runs and resets them in
+// O(1) with an epoch stamp: a slot is valid only when its stamp matches the
+// current run's epoch, so `begin()` just bumps the epoch. The binary heap's
+// backing vector is reused too, so a steady-state run allocates nothing.
+//
+// Results live in the workspace until the next run on it. The per-thread
+// instance behind `thread_workspace()` gives every construction worker its
+// own arrays ("one workspace per worker thread"); callers must finish
+// reading a run's results before starting any other sssp call on the same
+// thread (the allocation-free dijkstra entry points and the legacy
+// ShortestPaths-returning API both recycle it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::sssp {
+
+using graph::Vertex;
+using graph::Weight;
+
+class DijkstraWorkspace {
+ public:
+  /// Starts a new run over an n-vertex graph. O(1) amortized: grows the
+  /// arrays on the largest graph seen, never clears them.
+  void begin(std::size_t n) {
+    n_ = n;
+    ++epoch_;
+    if (stamp_.size() < n) {
+      stamp_.resize(n, 0);
+      dist_.resize(n);
+      parent_.resize(n);
+    }
+    heap_.clear();
+  }
+
+  /// Records the tentative distance/parent of v in the current run.
+  void update(Vertex v, Weight d, Vertex parent) {
+    stamp_[v] = epoch_;
+    dist_[v] = d;
+    parent_[v] = parent;
+  }
+
+  /// Distance settled or tentative in the current run; +inf if untouched.
+  Weight dist(Vertex v) const {
+    return stamp_[v] == epoch_ ? dist_[v] : graph::kInfiniteWeight;
+  }
+
+  /// Shortest-path-tree parent of v, kInvalidVertex if untouched or a source.
+  Vertex parent(Vertex v) const {
+    return stamp_[v] == epoch_ ? parent_[v] : graph::kInvalidVertex;
+  }
+
+  bool reached(Vertex v) const { return stamp_[v] == epoch_; }
+
+  /// Vertex count of the current run's graph.
+  std::size_t num_vertices() const { return n_; }
+
+  /// Reusable binary-heap storage for the Dijkstra runner (cleared by
+  /// begin()); not meaningful to other callers.
+  struct HeapEntry {
+    Weight dist;
+    Vertex v;
+  };
+  std::vector<HeapEntry>& heap() { return heap_; }
+
+ private:
+  std::vector<Weight> dist_;
+  std::vector<Vertex> parent_;
+  std::vector<std::uint64_t> stamp_;  ///< slot valid iff stamp_[v] == epoch_
+  std::uint64_t epoch_ = 0;           ///< 0 = never used; begin() pre-increments
+  std::vector<HeapEntry> heap_;
+  std::size_t n_ = 0;
+};
+
+/// The calling thread's workspace (thread_local): construction workers each
+/// get their own, so concurrent tree/label builds share nothing. Any sssp
+/// call on this thread may recycle it — extract results before the next one.
+DijkstraWorkspace& thread_workspace();
+
+}  // namespace pathsep::sssp

@@ -1,21 +1,28 @@
-// Minimal data-parallel helper: run fn(i) for i in [0, count) on a small
-// thread pool. Exceptions from workers are rethrown on the caller (first
-// one wins). Used by the oracle build, whose per-node work is independent.
+// Data-parallel helper: run fn(i) for i in [0, count) on the process-wide
+// shared ThreadPool. The callable is a template parameter (no std::function
+// boxing on the hot path), indices are handed out in chunks to keep atomic
+// contention negligible when per-item work is tiny, and the calling thread
+// participates in the work instead of idling. Exceptions from workers are
+// rethrown on the caller (first one wins). Used by the oracle label build
+// and the parallel decomposition build, whose per-item work is independent.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
 #include <exception>
-#include <functional>
+#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace pathsep::util {
 
-/// Default worker count shared by the oracle build (parallel_for) and the
-/// query service (ThreadPool): the PATHSEP_THREADS environment variable when
-/// set to a positive integer, otherwise full hardware_concurrency().
+/// Default worker count shared by the construction pipeline (parallel_for,
+/// DecompositionTree) and the query service (ThreadPool): the
+/// PATHSEP_THREADS environment variable when set to a positive integer,
+/// otherwise full hardware_concurrency().
 inline std::size_t default_threads() {
   if (const char* env = std::getenv("PATHSEP_THREADS")) {
     char* end = nullptr;
@@ -28,38 +35,62 @@ inline std::size_t default_threads() {
 }
 
 /// Runs fn(0..count-1) across up to `threads` workers (0 = default_threads(),
-/// i.e. hardware concurrency unless PATHSEP_THREADS overrides it). Falls back
-/// to serial execution for tiny ranges. fn must be safe to call concurrently
-/// for distinct indices.
-inline void parallel_for(std::size_t count,
-                         const std::function<void(std::size_t)>& fn,
-                         std::size_t threads = 0) {
+/// i.e. hardware concurrency unless PATHSEP_THREADS overrides it). Work is
+/// dispatched in index chunks from the shared pool, with the caller draining
+/// chunks alongside the helpers. Falls back to fully serial execution when
+/// `threads` <= 1 or when called from inside a pool worker (nested
+/// parallelism), so recursive use cannot deadlock. fn must be safe to call
+/// concurrently for distinct indices.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
+  if (count == 0) return;
   if (threads == 0) threads = default_threads();
   threads = std::min(threads, count);
-  if (threads <= 1) {
+  if (threads <= 1 || ThreadPool::in_worker()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+
+  ThreadPool& pool = shared_pool();
+  const std::size_t helpers = std::min(threads - 1, pool.num_threads());
+  // ~8 chunks per participant: coarse enough that the atomic fetch_add is
+  // noise, fine enough that an unlucky slow chunk cannot serialize the tail.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / ((helpers + 1) * 8));
+
   std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
   std::atomic<bool> failed{false};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= count || failed.load()) return;
-        try {
-          fn(i);
-        } catch (...) {
-          if (!failed.exchange(true)) error = std::current_exception();
-          return;
-        }
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  std::size_t live = helpers;
+
+  auto drain = [&]() {
+    for (;;) {
+      const std::size_t begin =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t end = std::min(count, begin + chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!failed.exchange(true)) error = std::current_exception();
+        return;
       }
+    }
+  };
+
+  for (std::size_t h = 0; h < helpers; ++h)
+    pool.submit([&] {
+      drain();
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--live == 0) done_cv.notify_all();
     });
-  }
-  for (std::thread& worker : pool) worker.join();
+  drain();
+
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return live == 0; });
   if (error) std::rethrow_exception(error);
 }
 

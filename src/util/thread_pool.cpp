@@ -1,12 +1,20 @@
-#include "service/thread_pool.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
 
 #include "check/check.hpp"
 #include "util/parallel.hpp"
 
-namespace pathsep::service {
+namespace pathsep::util {
+
+namespace {
+thread_local bool tl_in_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return tl_in_worker; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) threads = util::default_threads();
+  if (threads == 0) threads = default_threads();
   workers_.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t)
     workers_.emplace_back([this] { worker_loop(); });
@@ -59,6 +67,7 @@ void ThreadPool::audit() const {
 }
 
 void ThreadPool::worker_loop() {
+  tl_in_worker = true;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -75,4 +84,9 @@ void ThreadPool::worker_loop() {
   }
 }
 
-}  // namespace pathsep::service
+ThreadPool& shared_pool() {
+  static ThreadPool pool(std::max<std::size_t>(default_threads(), 2));
+  return pool;
+}
+
+}  // namespace pathsep::util

@@ -1,0 +1,83 @@
+// Persistent worker thread pool shared by construction and serving.
+//
+// util::parallel_for used to spawn and join fresh std::threads per call,
+// which is fine for a one-shot build but hopeless once every oracle
+// construction and every query batch pays it: a task takes microseconds and
+// thread creation takes tens of them. ThreadPool keeps its workers alive and
+// feeds them through a mutex-protected task queue, so per-task dispatch cost
+// is one lock + one condition-variable signal.
+//
+// The process-wide instance behind `shared_pool()` backs util::parallel_for
+// and the parallel decomposition build; the query service additionally owns
+// private pools sized to its serving needs (see service/query_engine.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pathsep::util {
+
+/// Fixed-size pool of persistent workers draining a FIFO task queue.
+/// Tasks must not throw (an escaping exception terminates the process, as
+/// with std::thread); parallel helpers catch and forward exceptions
+/// themselves, service tasks report failures through their results.
+class ThreadPool {
+ public:
+  /// `threads` = 0 uses util::default_threads() (hardware concurrency,
+  /// overridable via the PATHSEP_THREADS environment variable).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; wakes one idle worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks currently queued (not yet picked up); for tests and metrics.
+  std::size_t queued() const;
+
+  /// True when the calling thread is a worker of ANY ThreadPool. Parallel
+  /// helpers that block on their own sub-tasks (parallel_for, the
+  /// decomposition build) check this and degrade to serial execution
+  /// instead, so nested parallelism can never deadlock the pool.
+  static bool in_worker();
+
+  /// Deep invariant audit: workers exist, active task count is within the
+  /// worker count, no queued task is null, and a stopped pool accepts no new
+  /// work. Fails via PATHSEP_ASSERT; see check/audit_service.hpp.
+  void audit() const;
+
+ private:
+  void worker_loop();
+  void audit_locked() const;  ///< audit() body; caller holds mutex_
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< signals workers: task or stop
+  std::condition_variable idle_cv_;   ///< signals wait_idle: all drained
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  ///< workers currently running a task
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Lazily-created process-wide pool backing util::parallel_for and the
+/// parallel decomposition build. Sized to default_threads() at first use
+/// (but never below 2, so explicit thread requests still get real
+/// concurrency on small machines); callers cap their own usage per call, so
+/// a PATHSEP_THREADS=1 run stays serial without consulting the pool.
+ThreadPool& shared_pool();
+
+}  // namespace pathsep::util

@@ -1,0 +1,259 @@
+// The parallel construction pipeline: task-parallel DecompositionTree build,
+// shared-pool parallel_for, and the determinism guarantee — the serialized
+// oracle must be byte-identical for every thread count. Labeled `parallel`
+// in CTest; scripts/check.sh runs this suite under ThreadSanitizer alongside
+// the `service` label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "check/audit_hierarchy.hpp"
+#include "check/audit_oracle.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/decomposition_tree.hpp"
+#include "oracle/labels.hpp"
+#include "oracle/serialize.hpp"
+#include "separator/finders.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pathsep {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using hierarchy::DecompositionTree;
+
+DecompositionTree::Options with_threads(std::size_t threads,
+                                        bool validate = false) {
+  DecompositionTree::Options o;
+  o.threads = threads;
+  o.validate_separators = validate;
+  return o;
+}
+
+/// Serialized bytes of the whole oracle (tree shape + every label), built
+/// with the given thread count end to end.
+std::vector<std::uint8_t> build_serialized(
+    const Graph& g, const separator::SeparatorFinder& finder,
+    std::size_t threads, double epsilon = 0.5) {
+  const DecompositionTree tree(g, finder, with_threads(threads));
+  const std::vector<oracle::DistanceLabel> labels =
+      oracle::build_labels(tree, epsilon, threads);
+  std::vector<std::uint8_t> bytes;
+  // Tree shape participates too: node ids, parents, chain order.
+  oracle::append_varint(bytes, tree.nodes().size());
+  for (const auto& node : tree.nodes()) {
+    oracle::append_varint(bytes,
+                          static_cast<std::uint64_t>(node.parent + 1));
+    oracle::append_varint(bytes, node.paths.size());
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (const auto& [node_id, local] : tree.chain(v)) {
+      oracle::append_varint(bytes, static_cast<std::uint64_t>(node_id));
+      oracle::append_varint(bytes, local);
+    }
+  for (const oracle::DistanceLabel& label : labels) {
+    const std::vector<std::uint8_t> one = oracle::serialize_label(label);
+    oracle::append_varint(bytes, one.size());
+    bytes.insert(bytes.end(), one.begin(), one.end());
+  }
+  return bytes;
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(ParallelBuild, GridOracleBytesIdenticalAcrossThreadCounts) {
+  const graph::GridGraph gg = graph::grid(16, 16);
+  const separator::GridLineSeparator finder(16, 16);
+  const auto serial = build_serialized(gg.graph, finder, 1);
+  EXPECT_EQ(serial, build_serialized(gg.graph, finder, 2));
+  EXPECT_EQ(serial, build_serialized(gg.graph, finder, 8));
+}
+
+TEST(ParallelBuild, PlanarOracleBytesIdenticalAcrossThreadCounts) {
+  util::Rng rng(71);
+  const auto gg = graph::random_apollonian(400, rng);
+  const separator::PlanarCycleSeparator finder(gg.positions);
+  const auto serial = build_serialized(gg.graph, finder, 1);
+  EXPECT_EQ(serial, build_serialized(gg.graph, finder, 8));
+}
+
+TEST(ParallelBuild, KTreeOracleBytesIdenticalAcrossThreadCounts) {
+  util::Rng rng(73);
+  const Graph g = graph::random_ktree(250, 3, rng);
+  const separator::TreewidthBagSeparator finder;
+  EXPECT_EQ(build_serialized(g, finder, 1), build_serialized(g, finder, 8));
+}
+
+TEST(ParallelBuild, GreedyFallbackBytesIdenticalAcrossThreadCounts) {
+  // The greedy finder seeds its RNG from each subgraph, so it too must be
+  // reproducible under concurrent subtree separation.
+  util::Rng rng(77);
+  const Graph g = graph::gnm_random(300, 900, rng, true);
+  const separator::GreedyPathSeparator finder;
+  EXPECT_EQ(build_serialized(g, finder, 1), build_serialized(g, finder, 8));
+}
+
+TEST(ParallelBuild, TreeStructureMatchesSerialBuild) {
+  util::Rng rng(79);
+  const auto gg = graph::random_apollonian(300, rng);
+  const separator::PlanarCycleSeparator finder(gg.positions);
+  const DecompositionTree serial(gg.graph, finder, with_threads(1));
+  const DecompositionTree parallel(gg.graph, finder, with_threads(8));
+  ASSERT_EQ(serial.nodes().size(), parallel.nodes().size());
+  EXPECT_EQ(serial.height(), parallel.height());
+  EXPECT_EQ(serial.total_paths(), parallel.total_paths());
+  for (std::size_t id = 0; id < serial.nodes().size(); ++id) {
+    const auto& a = serial.nodes()[id];
+    const auto& b = parallel.nodes()[id];
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.children, b.children);
+    EXPECT_EQ(a.root_ids, b.root_ids);
+    ASSERT_EQ(a.paths.size(), b.paths.size());
+    for (std::size_t pi = 0; pi < a.paths.size(); ++pi) {
+      EXPECT_EQ(a.paths[pi].verts, b.paths[pi].verts);
+      EXPECT_EQ(a.paths[pi].prefix, b.paths[pi].prefix);
+      EXPECT_EQ(a.paths[pi].stage, b.paths[pi].stage);
+    }
+  }
+  for (Vertex v = 0; v < gg.graph.num_vertices(); ++v)
+    EXPECT_EQ(serial.chain(v), parallel.chain(v));
+}
+
+// ------------------------------------------------------------------ audits
+
+TEST(ParallelBuild, ParallelTreePassesDeepAudits) {
+  util::Rng rng(83);
+  const auto gg = graph::random_apollonian(350, rng);
+  const separator::PlanarCycleSeparator finder(gg.positions);
+  const DecompositionTree tree(gg.graph, finder, with_threads(8, true));
+  check::audit_decomposition(tree);
+  const auto labels = oracle::build_labels(tree, 0.5, 8);
+  check::audit_labels(labels);
+}
+
+// -------------------------------------------------------- error propagation
+
+/// Throws once the recursion reaches subgraphs below a size threshold —
+/// exercises failure deep inside concurrently-built subtrees.
+class BoomFinder final : public separator::SeparatorFinder {
+ public:
+  using separator::SeparatorFinder::find;
+  separator::PathSeparator find(
+      const Graph& g, std::span<const Vertex> root_ids) const override {
+    if (g.num_vertices() < 16)
+      throw std::runtime_error("boom: finder failed on a small subgraph");
+    return inner_.find(g, root_ids);
+  }
+  std::string name() const override { return "boom"; }
+
+ private:
+  separator::TreeCentroidSeparator inner_;
+};
+
+TEST(ParallelBuild, WorkerExceptionsPropagateToCaller) {
+  const Graph g = graph::path_graph(256);
+  EXPECT_THROW(DecompositionTree(g, BoomFinder(), with_threads(8)),
+               std::runtime_error);
+}
+
+/// Claims a single vertex as the separator — never halves a path graph, so
+/// the P3 balance check must fire (and with validation on, Definition 1).
+class UnbalancedFinder final : public separator::SeparatorFinder {
+ public:
+  using separator::SeparatorFinder::find;
+  separator::PathSeparator find(const Graph&,
+                                std::span<const Vertex>) const override {
+    separator::PathSeparator s;
+    s.stages.push_back({{0}});
+    return s;
+  }
+  std::string name() const override { return "unbalanced"; }
+  bool guarantees_definition1() const override { return false; }
+};
+
+TEST(ParallelBuild, UnbalancedSeparatorRejectedInParallel) {
+  const Graph g = graph::path_graph(128);
+  EXPECT_THROW(DecompositionTree(g, UnbalancedFinder(), with_threads(8)),
+               std::runtime_error);
+  EXPECT_THROW(DecompositionTree(g, UnbalancedFinder(), with_threads(8, true)),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------- parallel_for
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 50000;
+  std::vector<std::atomic<int>> hits(kCount);
+  util::parallel_for(
+      kCount, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(util::parallel_for(
+                   1000,
+                   [](std::size_t i) {
+                     if (i == 500) throw std::runtime_error("kaboom");
+                   },
+                   8),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  std::vector<std::atomic<int>> hits(64 * 64);
+  util::parallel_for(
+      64,
+      [&](std::size_t outer) {
+        util::parallel_for(
+            64, [&](std::size_t inner) { hits[outer * 64 + inner]++; }, 4);
+      },
+      8);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountAndSerialFallbackWork) {
+  util::parallel_for(0, [](std::size_t) { FAIL(); }, 8);
+  int serial_hits = 0;
+  util::parallel_for(10, [&](std::size_t) { ++serial_hits; }, 1);
+  EXPECT_EQ(serial_hits, 10);  // threads=1 runs inline, no pool involved
+}
+
+// -------------------------------------------------------------- shared pool
+
+TEST(SharedPool, IsASingletonWithWorkers) {
+  util::ThreadPool& a = util::shared_pool();
+  util::ThreadPool& b = util::shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 2u);  // real concurrency even on 1-core hosts
+}
+
+TEST(SharedPool, InWorkerIsVisibleFromTasks) {
+  EXPECT_FALSE(util::ThreadPool::in_worker());
+  std::atomic<bool> inside{false};
+  util::shared_pool().submit(
+      [&] { inside = util::ThreadPool::in_worker(); });
+  util::shared_pool().wait_idle();
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(DefaultThreads, ReadsPathsepThreadsEnv) {
+  const char* old = std::getenv("PATHSEP_THREADS");
+  const std::string saved = old ? old : "";
+  setenv("PATHSEP_THREADS", "3", 1);
+  EXPECT_EQ(util::default_threads(), 3u);
+  if (old)
+    setenv("PATHSEP_THREADS", saved.c_str(), 1);
+  else
+    unsetenv("PATHSEP_THREADS");
+}
+
+}  // namespace
+}  // namespace pathsep

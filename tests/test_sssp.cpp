@@ -8,6 +8,7 @@
 #include "sssp/dijkstra.hpp"
 #include "sssp/metrics.hpp"
 #include "sssp/sp_tree.hpp"
+#include "sssp/workspace.hpp"
 
 namespace pathsep::sssp {
 namespace {
@@ -290,6 +291,71 @@ TEST(Alt, SizeAccountsLandmarkVectors) {
   const AltOracle alt(g, 3, lrng);
   EXPECT_EQ(alt.num_landmarks(), 3u);
   EXPECT_EQ(alt.size_in_words(), 3u + 3u * 50);
+}
+
+// ---- DijkstraWorkspace reuse ------------------------------------------------
+// One workspace serving many runs — across different graphs, sizes, and masks
+// — must behave exactly like freshly-allocated ShortestPaths every time; the
+// epoch-stamped lazy reset may never leak state between runs.
+
+TEST(Workspace, InterleavedRunsMatchFreshAllocation) {
+  util::Rng rng(41);
+  const Graph big = graph::gnm_random(
+      120, 320, rng, true, graph::WeightSpec::uniform_real(0.2, 4.0));
+  const Graph small = graph::gnm_random(
+      30, 70, rng, true, graph::WeightSpec::uniform_real(0.5, 2.0));
+  std::vector<bool> removed(120, false);
+  for (Vertex v = 0; v < 120; v += 7) removed[v] = true;
+
+  DijkstraWorkspace ws;
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    // Alternate graphs (shrinking then regrowing n) and masked/unmasked runs.
+    const Graph& g = round % 2 == 0 ? big : small;
+    const Vertex source = static_cast<Vertex>((round * 11) % g.num_vertices());
+    if (round % 3 == 2) {
+      const Vertex sources[] = {source};
+      dijkstra_masked(big, sources, removed, ws);
+      const ShortestPaths sp = dijkstra_masked(big, sources, removed);
+      for (Vertex v = 0; v < big.num_vertices(); ++v) {
+        EXPECT_DOUBLE_EQ(ws.dist(v), sp.dist[v]);
+        EXPECT_EQ(ws.parent(v), sp.parent[v]);
+      }
+    } else {
+      dijkstra(g, source, ws);
+      const ShortestPaths sp = dijkstra(g, source);
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_DOUBLE_EQ(ws.dist(v), sp.dist[v]);
+        EXPECT_EQ(ws.parent(v), sp.parent[v]);
+        EXPECT_EQ(ws.reached(v), sp.reached(v));
+      }
+    }
+  }
+}
+
+TEST(Workspace, ExtractPathMatchesShortestPathsVariant) {
+  util::Rng rng(43);
+  const auto gg = graph::random_apollonian(80, rng);
+  DijkstraWorkspace ws;
+  dijkstra(gg.graph, 0, ws);
+  const ShortestPaths sp = dijkstra(gg.graph, 0);
+  for (Vertex t : {7u, 31u, 79u})
+    EXPECT_EQ(extract_path(ws, t), extract_path(sp, t));
+}
+
+TEST(Workspace, UnreachedVerticesReadAsInfinite) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  const Graph g = std::move(b).build();
+  DijkstraWorkspace ws;
+  dijkstra(g, 0, ws);
+  EXPECT_FALSE(ws.reached(3));
+  EXPECT_EQ(ws.dist(3), graph::kInfiniteWeight);
+  EXPECT_EQ(ws.parent(3), graph::kInvalidVertex);
+  EXPECT_TRUE(extract_path(ws, 3).empty());
+}
+
+TEST(Workspace, ThreadWorkspaceIsPerThreadSingleton) {
+  EXPECT_EQ(&thread_workspace(), &thread_workspace());
 }
 
 TEST(Metrics, EccentricityOnPath) {
