@@ -8,9 +8,24 @@
 // on one thread straight from PathOracle::query; pooled fans batches out to
 // the persistent worker pool; cached adds the result cache on top (warmed
 // by one pass). Speedups are relative to serial QPS on the same workload.
+//
+// Also measures the observability layer's hot-path cost: the same serial
+// query loop re-run with per-query histogram recording plus a per-batch
+// span, once with tracing disabled (the production default — the span is
+// one relaxed atomic load) and once with tracing enabled. Overheads and the
+// engine's metrics snapshot are written to --out (default
+// BENCH_service.json) for the repo record.
 #include "common.hpp"
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "service/query_engine.hpp"
+#include "util/args.hpp"
 #include "util/parallel.hpp"
 
 namespace pathsep::bench {
@@ -61,13 +76,56 @@ double run_engine(service::QueryEngine& engine, const Workload& w,
   return static_cast<double>(w.queries.size()) / *seconds;
 }
 
+/// The serial loop of run_serial plus the obs-layer work the engine adds to
+/// the query hot path: two counter increments per query and one trace span
+/// per batch (exactly answer_one's recording minus its latency timer).
+/// With time_each_query the service's own per-query util::Timer + histogram
+/// record is added too — that cost is clock reads, not obs recording, and
+/// has been part of the serving layer since the engine was introduced, so
+/// the bench reports it as a separate number.
+double run_serial_instrumented(const oracle::PathOracle& oracle,
+                               const Workload& w, std::size_t batch,
+                               obs::MetricsRegistry& registry,
+                               bool time_each_query) {
+  obs::Counter& total = registry.counter("queries_total");
+  obs::Counter& misses = registry.counter("cache_misses");
+  obs::LatencyHistogram& lat = registry.histogram("query_latency_ns");
+  util::Timer timer;
+  Weight sink = 0;
+  for (std::size_t begin = 0; begin < w.queries.size(); begin += batch) {
+    PATHSEP_SPAN("bench.batch");
+    const std::size_t end = std::min(begin + batch, w.queries.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      if (time_each_query) {
+        const util::Timer query_timer;
+        sink += oracle.query(w.queries[i].u, w.queries[i].v);
+        lat.record(query_timer.elapsed_ns());
+      } else {
+        sink += oracle.query(w.queries[i].u, w.queries[i].v);
+      }
+      total.inc();
+      misses.inc();
+    }
+  }
+  util::do_not_optimize(sink);
+  return static_cast<double>(w.queries.size()) / timer.elapsed_seconds();
+}
+
+struct RunRecord {
+  std::string mode, workload;
+  std::size_t threads = 1;
+  double qps = 0, speedup = 1.0, p99_us = 0;
+};
+
 }  // namespace
 }  // namespace pathsep::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pathsep;
   using namespace pathsep::bench;
 
+  util::Args args(argc, argv);
+  const std::string out_path = args.get("out", "BENCH_service.json");
   const std::size_t side = 40;          // 1600-vertex planar grid
   const double eps = 0.25;
   const std::size_t num_queries = 400000;
@@ -93,12 +151,15 @@ int main() {
 
   util::TableWriter table({"mode", "workload", "threads", "cache", "qps",
                            "speedup", "hit_rate", "p99_us"});
+  std::vector<RunRecord> records;
+  std::string engine_metrics_json = "{}";
 
   for (const Workload* w : {&uniform, &zipf}) {
     double serial_s = 0;
     const double serial_qps = run_serial(*snapshot, *w, &serial_s);
     table.add_row({"serial", w->name, "1", "off",
                    util::strf("%.0f", serial_qps), "1.00x", "-", "-"});
+    records.push_back({"serial", w->name, 1, serial_qps, 1.0, 0});
 
     service::QueryEngineOptions pooled_opts;
     pooled_opts.threads = threads;
@@ -106,14 +167,16 @@ int main() {
     service::QueryEngine pooled(snapshot, pooled_opts);
     double pooled_s = 0;
     const double pooled_qps = run_engine(pooled, *w, batch, &pooled_s);
-    table.add_row(
-        {"pooled", w->name, util::strf("%zu", threads), "off",
-         util::strf("%.0f", pooled_qps),
-         util::strf("%.2fx", pooled_qps / serial_qps), "-",
-         util::strf("%.1f",
-                    pooled.metrics().histogram("query_latency_ns")
-                            .percentile_nanos(0.99) /
-                        1000.0)});
+    const double pooled_p99_us =
+        pooled.metrics().histogram("query_latency_ns").percentile_nanos(0.99) /
+        1000.0;
+    table.add_row({"pooled", w->name, util::strf("%zu", threads), "off",
+                   util::strf("%.0f", pooled_qps),
+                   util::strf("%.2fx", pooled_qps / serial_qps), "-",
+                   util::strf("%.1f", pooled_p99_us)});
+    records.push_back({"pooled", w->name, threads, pooled_qps,
+                       pooled_qps / serial_qps, pooled_p99_us});
+    engine_metrics_json = obs::metrics_to_json(pooled.metrics().snapshot());
 
     service::QueryEngineOptions cached_opts;
     cached_opts.threads = threads;
@@ -129,15 +192,16 @@ int main() {
         static_cast<double>(cached.cache().hits() - warm_hits) /
         static_cast<double>((cached.cache().hits() - warm_hits) +
                             (cached.cache().misses() - warm_misses));
-    table.add_row(
-        {"cached", w->name, util::strf("%zu", threads), "65536",
-         util::strf("%.0f", cached_qps),
-         util::strf("%.2fx", cached_qps / serial_qps),
-         util::strf("%.1f%%", 100.0 * warm_rate),
-         util::strf("%.1f",
-                    cached.metrics().histogram("query_latency_ns")
-                            .percentile_nanos(0.99) /
-                        1000.0)});
+    const double cached_p99_us =
+        cached.metrics().histogram("query_latency_ns").percentile_nanos(0.99) /
+        1000.0;
+    table.add_row({"cached", w->name, util::strf("%zu", threads), "65536",
+                   util::strf("%.0f", cached_qps),
+                   util::strf("%.2fx", cached_qps / serial_qps),
+                   util::strf("%.1f%%", 100.0 * warm_rate),
+                   util::strf("%.1f", cached_p99_us)});
+    records.push_back({"cached", w->name, threads, cached_qps,
+                       cached_qps / serial_qps, cached_p99_us});
   }
 
   table.print(std::cout);
@@ -145,5 +209,80 @@ int main() {
       "\nnotes: pooled speedup scales with hardware threads (this run: %zu); "
       "cached hit-rate column is measured after a full warming pass.\n",
       threads);
+
+  // ---- Instrumentation overhead: raw serial loop vs. the same loop with
+  // per-query obs recording, tracing off then on. Best of 3 reps each to
+  // keep the percentages from reflecting scheduler noise.
+  section("E14b", "observability hot-path overhead (serial query loop)");
+  const int reps = 3;
+  double raw_qps = 0, instr_qps = 0, tracing_qps = 0, timed_qps = 0;
+  obs::set_trace_enabled(false);
+  for (int r = 0; r < reps; ++r) {
+    double s = 0;
+    raw_qps = std::max(raw_qps, run_serial(*snapshot, uniform, &s));
+  }
+  for (int r = 0; r < reps; ++r) {
+    obs::MetricsRegistry registry;
+    instr_qps = std::max(instr_qps,
+                         run_serial_instrumented(*snapshot, uniform, batch,
+                                                 registry, false));
+  }
+  obs::set_trace_enabled(true);
+  for (int r = 0; r < reps; ++r) {
+    obs::MetricsRegistry registry;
+    tracing_qps = std::max(tracing_qps,
+                           run_serial_instrumented(*snapshot, uniform, batch,
+                                                   registry, false));
+  }
+  obs::set_trace_enabled(false);
+  const std::size_t spans_recorded = obs::drain_spans().size();
+  for (int r = 0; r < reps; ++r) {
+    obs::MetricsRegistry registry;
+    timed_qps = std::max(timed_qps,
+                         run_serial_instrumented(*snapshot, uniform, batch,
+                                                 registry, true));
+  }
+  const double overhead_disabled_pct = 100.0 * (1.0 - instr_qps / raw_qps);
+  const double overhead_tracing_pct = 100.0 * (1.0 - tracing_qps / raw_qps);
+  const double per_query_timing_pct = 100.0 * (1.0 - timed_qps / raw_qps);
+  std::printf(
+      "raw %.0f qps; obs recording (tracing off) %.0f qps (%+.2f%%); "
+      "tracing on %.0f qps (%+.2f%%), %zu spans; with the service's "
+      "per-query latency timer %.0f qps (%+.2f%%)\n",
+      raw_qps, instr_qps, overhead_disabled_pct, tracing_qps,
+      overhead_tracing_pct, spans_recorded, timed_qps, per_query_timing_pct);
+
+  // ---- JSON record for the repo (EXPERIMENTS.md points here).
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"bench_service\",\n"
+       << "  \"grid_side\": " << side << ", \"epsilon\": " << eps
+       << ", \"num_queries\": " << num_queries
+       << ", \"distinct_pairs\": " << distinct_pairs
+       << ", \"batch\": " << batch << ", \"threads\": " << threads << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    json << "    {\"mode\": \"" << r.mode << "\", \"workload\": \""
+         << r.workload << "\", \"threads\": " << r.threads
+         << ", \"qps\": " << util::strf("%.0f", r.qps)
+         << ", \"speedup\": " << util::strf("%.3f", r.speedup)
+         << ", \"p99_us\": " << util::strf("%.2f", r.p99_us) << "}"
+         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"instrumentation_overhead\": {\n"
+       << "    \"raw_qps\": " << util::strf("%.0f", raw_qps)
+       << ", \"instrumented_qps\": " << util::strf("%.0f", instr_qps)
+       << ", \"tracing_qps\": " << util::strf("%.0f", tracing_qps) << ",\n"
+       << "    \"overhead_disabled_pct\": "
+       << util::strf("%.2f", overhead_disabled_pct)
+       << ", \"overhead_tracing_pct\": "
+       << util::strf("%.2f", overhead_tracing_pct)
+       << ", \"per_query_timing_pct\": "
+       << util::strf("%.2f", per_query_timing_pct)
+       << ", \"spans_recorded\": " << spans_recorded << "\n  },\n"
+       << "  \"engine_metrics\": " << engine_metrics_json << "\n}\n";
+  std::ofstream out(out_path);
+  out << json.str();
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

@@ -1,0 +1,170 @@
+// Oracle introspection CLI: build a decomposition + distance oracle for a
+// benchmark instance and print the OracleReport — where every serialized
+// label byte goes, per decomposition level, against the Theorem 2 bound —
+// plus the process metrics the instrumented build recorded, in any exporter
+// format. The per-level byte totals are cross-checked against
+// oracle::serialize_label byte-for-byte; a mismatch is a hard failure (exit
+// 1), so this tool doubles as an audit of the report's accounting.
+//
+//   ./oracle_stats --graph=grid --side=48 --eps=0.25
+//   ./oracle_stats --graph=tree --n=4096 --format=json
+//   ./oracle_stats --graph=road --side=24 --metrics=prom --trace
+//
+// Flags: --graph=grid|tree|road (instance family), --side (grid/road side),
+// --n (tree vertices), --eps, --seed, --format=text|json (report rendering),
+// --metrics=none|report|json|prom (process-registry rendering), --trace
+// (enable span recording and print the stitched construction trace).
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "check/check.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/decomposition_tree.hpp"
+#include "obs/export.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "oracle/serialize.hpp"
+#include "separator/finders.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace pathsep;
+
+namespace {
+
+struct Instance {
+  graph::Graph graph;
+  std::unique_ptr<separator::SeparatorFinder> finder;
+  std::string description;
+};
+
+Instance make_instance(const std::string& family, std::size_t side,
+                       std::size_t n, std::uint64_t seed) {
+  Instance inst;
+  if (family == "grid") {
+    graph::GridGraph gg = graph::grid(side, side);
+    inst.graph = std::move(gg.graph);
+    inst.finder = std::make_unique<separator::GridLineSeparator>(side, side);
+    inst.description = "grid " + std::to_string(side) + "x" +
+                       std::to_string(side);
+  } else if (family == "tree") {
+    util::Rng rng(seed);
+    inst.graph = graph::random_tree(n, rng);
+    inst.finder = std::make_unique<separator::TreeCentroidSeparator>();
+    inst.description = "random tree n=" + std::to_string(n);
+  } else if (family == "road") {
+    util::Rng rng(seed);
+    graph::GeometricGraph gg = graph::road_network(side, side, rng);
+    inst.graph = std::move(gg.graph);
+    inst.finder = std::make_unique<separator::PlanarCycleSeparator>(
+        std::move(gg.positions));
+    inst.description = "road network " + std::to_string(side) + "x" +
+                       std::to_string(side);
+  } else {
+    throw std::invalid_argument("--graph must be grid, tree, or road");
+  }
+  return inst;
+}
+
+/// Recomputes every label's serialized size through oracle::serialize_label
+/// and demands the report's attribution reproduces the total exactly.
+bool verify_report_bytes(const obs::OracleReport& report,
+                         const oracle::PathOracle& oracle) {
+  std::size_t actual = 0;
+  for (const oracle::DistanceLabel& label : oracle.labels())
+    actual += oracle::serialize_label(label).size();
+  std::size_t attributed = report.label_header_bytes;
+  for (const obs::LevelReport& level : report.levels)
+    attributed += level.serialized_bytes;
+  if (report.total_serialized_bytes != actual ||
+      attributed != actual) {
+    std::fprintf(stderr,
+                 "BYTE ACCOUNTING MISMATCH: serialize_label total %zu, "
+                 "report total %zu, per-level attribution %zu\n",
+                 actual, report.total_serialized_bytes, attributed);
+    return false;
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const std::string family = args.get("graph", "grid");
+  const auto side = static_cast<std::size_t>(args.get_int("side", 32));
+  const auto n = static_cast<std::size_t>(args.get_int("n", 2048));
+  const double eps = args.get_double("eps", 0.25);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string format = args.get("format", "text");
+  const std::string metrics = args.get("metrics", "report");
+  const bool trace = args.get_bool("trace");
+
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "error: --format must be text or json\n");
+    return 1;
+  }
+  if (metrics != "none" && metrics != "report" && metrics != "json" &&
+      metrics != "prom") {
+    std::fprintf(stderr,
+                 "error: --metrics must be none, report, json, or prom\n");
+    return 1;
+  }
+  if (trace) obs::set_trace_enabled(true);
+
+  const Instance inst = make_instance(family, side, n, seed);
+  util::Timer timer;
+  const hierarchy::DecompositionTree tree(inst.graph, *inst.finder);
+  const oracle::PathOracle oracle(tree, eps);
+  const double build_seconds = timer.elapsed_seconds();
+
+  const obs::OracleReport report = obs::oracle_report(oracle, tree);
+  if (format == "json") {
+    std::printf("%s", obs::report_to_json(report).c_str());
+  } else {
+    std::printf("%s: built in %.3fs\n%s", inst.description.c_str(),
+                build_seconds, obs::format_report(report).c_str());
+  }
+
+  if (metrics == "report") {
+    std::printf("\nprocess metrics:\n%s",
+                obs::default_registry().report().c_str());
+  } else if (metrics == "json") {
+    std::printf("\n%s",
+                obs::metrics_to_json(obs::default_registry().snapshot())
+                    .c_str());
+  } else if (metrics == "prom") {
+    std::printf("\n%s",
+                obs::metrics_to_prometheus(obs::default_registry().snapshot())
+                    .c_str());
+  }
+
+  if (trace) {
+    const obs::TraceTree stitched = obs::stitch_spans(obs::drain_spans());
+    std::printf("\nconstruction trace (%zu spans, %llu dropped):\n%s",
+                stitched.nodes.size(),
+                static_cast<unsigned long long>(obs::dropped_spans()),
+                obs::format_trace(stitched).c_str());
+  }
+
+  const auto unused = args.unused();
+  for (const std::string& flag : unused)
+    std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
+
+  // The cross-check that makes the report trustworthy: per-level bytes plus
+  // header overhead must reproduce serialize_label() totals exactly.
+  if (!verify_report_bytes(report, oracle)) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pathsep::check::abort_on_failure();
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

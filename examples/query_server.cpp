@@ -15,7 +15,9 @@
 // PATHSEP_THREADS honored), --clients (load-generator threads), --batch
 // (queries per client batch), --duration (seconds), --pairs (distinct query
 // pairs), --zipf (skew exponent; 0 = uniform), --cache (entries; 0
-// disables), --save/--load/--verify.
+// disables), --save/--load/--verify, --statsz=json|prom (render the /statsz
+// payload — engine metrics merged with the process-wide obs registry — after
+// serving, in the named exporter format).
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -24,6 +26,7 @@
 #include "check/check.hpp"
 #include "graph/generators.hpp"
 #include "hierarchy/decomposition_tree.hpp"
+#include "obs/export.hpp"
 #include "oracle/serialize.hpp"
 #include "separator/finders.hpp"
 #include "service/query_engine.hpp"
@@ -40,6 +43,18 @@ oracle::PathOracle build_grid_oracle(std::size_t side, double eps) {
   const hierarchy::DecompositionTree tree(
       gg.graph, separator::GridLineSeparator(side, side));
   return oracle::PathOracle(tree, eps);
+}
+
+/// The /statsz payload a scraping sidecar would fetch: the engine's private
+/// registry (query totals, latency) merged with the process-wide default
+/// registry (construction pipeline counters), one exporter format per call.
+std::string render_statsz(const service::QueryEngine& engine,
+                          const std::string& format) {
+  obs::MetricsSnapshot merged = engine.metrics().snapshot();
+  const obs::MetricsSnapshot process = obs::default_registry().snapshot();
+  merged.insert(merged.end(), process.begin(), process.end());
+  if (format == "prom") return obs::metrics_to_prometheus(merged);
+  return obs::metrics_to_json(merged);
 }
 
 }  // namespace
@@ -61,6 +76,11 @@ int run(int argc, char** argv) {
   const std::string save_path = args.get("save");
   const std::string load_path = args.get("load");
   const bool verify = args.get_bool("verify");
+  const std::string statsz = args.get("statsz");
+  if (!statsz.empty() && statsz != "json" && statsz != "prom") {
+    std::fprintf(stderr, "error: --statsz must be json or prom\n");
+    return 1;
+  }
 
   // 1. Obtain the oracle: cold-start from disk, or build from the grid.
   std::shared_ptr<const oracle::PathOracle> snapshot;
@@ -173,6 +193,10 @@ int run(int argc, char** argv) {
               static_cast<unsigned long long>(engine.cache().hits()),
               static_cast<unsigned long long>(engine.cache().misses()));
   std::printf("\nmetrics:\n%s", engine.metrics().report().c_str());
+
+  if (!statsz.empty())
+    std::printf("\nstatsz (%s):\n%s", statsz.c_str(),
+                render_statsz(engine, statsz).c_str());
 
   const auto unused = args.unused();
   for (const std::string& flag : unused)

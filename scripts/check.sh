@@ -9,8 +9,12 @@
 #   release  strict-warnings (-Werror) build, ctest twice — plain and with
 #            PATHSEP_AUDIT=1 so every deep invariant validator runs
 #   asan     AddressSanitizer + UndefinedBehaviorSanitizer build, full ctest
-#   tsan     ThreadSanitizer build, ctest -L 'service|parallel' (the
-#            concurrent query layer plus the parallel construction pipeline)
+#   tsan     ThreadSanitizer build, ctest -L 'service|parallel|obs' (the
+#            concurrent query layer, the parallel construction pipeline, and
+#            the observability layer's cross-thread recording)
+#   obsoff   PATHSEP_OBS_DISABLED build with -Werror — proves every
+#            instrumentation call site compiles out cleanly — plus
+#            ctest -L obs (the obs suite adapts to the compiled-out mode)
 #   tidy     clang-tidy over src/ via the `tidy` target (no-op with a notice
 #            when clang-tidy is not installed)
 #
@@ -22,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 STEPS=("$@")
-[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan tidy)
+[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan obsoff tidy)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -48,10 +52,17 @@ if want asan; then
 fi
 
 if want tsan; then
-  banner "tsan: ThreadSanitizer build + ctest -L 'service|parallel'"
+  banner "tsan: ThreadSanitizer build + ctest -L 'service|parallel|obs'"
   cmake --preset tsan
   cmake --build build-tsan -j "$JOBS"
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'service|parallel'
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'service|parallel|obs'
+fi
+
+if want obsoff; then
+  banner "obsoff: PATHSEP_OBS_DISABLED -Werror build + ctest -L obs"
+  cmake --preset obs-off
+  cmake --build build-obs-off -j "$JOBS"
+  ctest --test-dir build-obs-off --output-on-failure -j "$JOBS" -L obs
 fi
 
 if want tidy; then

@@ -11,6 +11,8 @@
 #include "check/check.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/subgraph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "separator/validate.hpp"
 #include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
@@ -41,11 +43,22 @@ std::vector<std::unique_ptr<BuildNode>> process_node(
     BuildNode& bn, const separator::SeparatorFinder& finder,
     const DecompositionTree::Options& options) {
   const std::size_t n = bn.graph.num_vertices();
+  PATHSEP_OBS_ONLY({
+    static obs::Counter& nodes =
+        obs::default_registry().counter("hierarchy_build_nodes_total");
+    nodes.inc();
+  })
 
-  const separator::PathSeparator sep = finder.find(bn.graph, bn.root_ids);
+  const separator::PathSeparator sep = [&] {
+    PATHSEP_SPAN("hierarchy.separator_find");
+    PATHSEP_STAGE_TIMER("hierarchy_separator_find_ns");
+    return finder.find(bn.graph, bn.root_ids);
+  }();
   if (sep.empty())
     throw std::runtime_error("separator finder returned an empty separator");
   if (options.validate_separators) {
+    PATHSEP_SPAN("hierarchy.validate");
+    PATHSEP_STAGE_TIMER("hierarchy_validate_ns");
     const separator::ValidationReport report =
         separator::validate(bn.graph, sep);
     if (!report.ok)
@@ -75,6 +88,8 @@ std::vector<std::unique_ptr<BuildNode>> process_node(
 
   // Children: components of the node minus its separator, in label order —
   // the order that fixes the deterministic final numbering.
+  PATHSEP_SPAN("hierarchy.component_split");
+  PATHSEP_STAGE_TIMER("hierarchy_component_split_ns");
   const std::vector<bool> mask = sep.removal_mask(n);
   const graph::Components comps = graph::connected_components(bn.graph, mask);
   std::vector<std::vector<Vertex>> members(comps.count());
@@ -109,6 +124,7 @@ DecompositionTree::DecompositionTree(const Graph& g,
   if (!graph::is_connected(g))
     throw std::invalid_argument("decomposition requires a connected graph");
 
+  PATHSEP_SPAN("hierarchy.build");
   chains_.assign(g.num_vertices(), {});
 
   // ---- Task-parallel build -------------------------------------------------
@@ -182,8 +198,13 @@ DecompositionTree::DecompositionTree(const Graph& g,
     util::ThreadPool& pool = util::shared_pool();
     const std::size_t helpers = std::min(threads - 1, pool.num_threads());
     helpers_live = helpers;
+    // Helper spans stitch under the build span even though pool workers have
+    // no ambient span of their own: capture it here (by value — this block's
+    // scope ends before the helpers do), install it there.
+    PATHSEP_OBS_ONLY(const std::uint64_t build_span = obs::current_span();)
     for (std::size_t h = 0; h < helpers; ++h)
-      pool.submit([&] {
+      pool.submit([& PATHSEP_OBS_ONLY(, build_span)] {
+        PATHSEP_OBS_ONLY(obs::SpanParentGuard trace_parent(build_span);)
         worker();
         std::lock_guard<std::mutex> lock(mutex);
         if (--helpers_live == 0) done_cv.notify_all();

@@ -1,0 +1,190 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace pathsep::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_labels_json(std::ostringstream& out, const Labels& labels) {
+  out << "\"labels\": {";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out << ", ";
+    out << '"' << json_escape(labels[i].first) << "\": \""
+        << json_escape(labels[i].second) << '"';
+  }
+  out << '}';
+}
+
+template <typename Fn>
+void append_section(std::ostringstream& out, const MetricsSnapshot& snapshot,
+                    const char* section, MetricKind kind, Fn&& body) {
+  out << "  \"" << section << "\": [";
+  bool first = true;
+  for (const MetricSample& sample : snapshot) {
+    if (sample.kind != kind) continue;
+    out << (first ? "\n" : ",\n") << "    {\"name\": \""
+        << json_escape(sample.name) << "\", ";
+    append_labels_json(out, sample.labels);
+    body(sample);
+    out << '}';
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]");
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n";
+  append_section(out, snapshot, "counters", MetricKind::kCounter,
+                 [&out](const MetricSample& s) {
+                   out << ", \"value\": " << s.counter_value;
+                 });
+  out << ",\n";
+  append_section(out, snapshot, "gauges", MetricKind::kGauge,
+                 [&out](const MetricSample& s) {
+                   out << ", \"value\": " << s.gauge_value;
+                 });
+  out << ",\n";
+  append_section(
+      out, snapshot, "histograms", MetricKind::kHistogram,
+      [&out](const MetricSample& s) {
+        out << ", \"count\": " << s.histogram.count
+            << ", \"sum_ns\": " << s.histogram.sum_nanos
+            << ", \"mean_ns\": " << s.histogram.mean_nanos
+            << ", \"p50_ns\": " << s.histogram.p50_nanos
+            << ", \"p95_ns\": " << s.histogram.p95_nanos
+            << ", \"p99_ns\": " << s.histogram.p99_nanos << ", \"buckets\": [";
+        for (std::size_t i = 0; i < s.histogram.buckets.size(); ++i)
+          out << (i ? "," : "") << s.histogram.buckets[i];
+        out << ']';
+      });
+  out << "\n}\n";
+  return out.str();
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0)
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+/// Renders {a="b",c="d"} with an optional extra (le) pair; empty -> "".
+std::string prometheus_labels(const Labels& labels, const std::string& extra_key,
+                              const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    out += prometheus_name(k) + "=\"" + v + '"';
+    first = false;
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  std::string last_typed;  // emit one # TYPE header per metric name
+  for (const MetricSample& sample : snapshot) {
+    const std::string name = prometheus_name(sample.name);
+    const char* type = sample.kind == MetricKind::kCounter   ? "counter"
+                       : sample.kind == MetricKind::kGauge   ? "gauge"
+                                                             : "histogram";
+    if (name != last_typed) {
+      out << "# TYPE " << name << ' ' << type << '\n';
+      last_typed = name;
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out << name << prometheus_labels(sample.labels, "", "") << ' '
+            << sample.counter_value << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << name << prometheus_labels(sample.labels, "", "") << ' '
+            << sample.gauge_value << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        // Cumulative buckets up to the last non-empty one, then +Inf —
+        // bucket i covers [2^i, 2^{i+1}) ns, so its upper bound is 2^{i+1}.
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < sample.histogram.buckets.size(); ++i)
+          if (sample.histogram.buckets[i] > 0) last = i;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= last; ++i) {
+          cumulative += sample.histogram.buckets[i];
+          out << name << "_bucket"
+              << prometheus_labels(sample.labels, "le",
+                                   std::to_string(std::uint64_t{1}
+                                                  << (i + 1)))
+              << ' ' << cumulative << '\n';
+        }
+        out << name << "_bucket"
+            << prometheus_labels(sample.labels, "le", "+Inf") << ' '
+            << sample.histogram.count << '\n';
+        out << name << "_sum" << prometheus_labels(sample.labels, "", "")
+            << ' ' << sample.histogram.sum_nanos << '\n';
+        out << name << "_count" << prometheus_labels(sample.labels, "", "")
+            << ' ' << sample.histogram.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pathsep::obs

@@ -1,0 +1,27 @@
+// Exporters: render a MetricsSnapshot as JSON (for the stats CLI and bench
+// records) or Prometheus text exposition format version 0.0.4 (what a
+// /statsz or /metrics endpoint serves to a scraper).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pathsep::obs {
+
+/// {"counters": [...], "gauges": [...], "histograms": [...]} — each entry
+/// carries name, labels, and its values; histograms include all 48
+/// power-of-two bucket counts.
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// `# TYPE` headers plus one sample line per metric. Histograms are emitted
+/// as cumulative `_bucket{le="..."}` series with `_sum` and `_count`, the
+/// shape Prometheus expects. Metric names are sanitized to the Prometheus
+/// charset ([a-zA-Z0-9_:]).
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON string escaping ("\" and control characters), exposed because the
+/// report/bench JSON writers share it.
+std::string json_escape(const std::string& text);
+
+}  // namespace pathsep::obs

@@ -1,0 +1,196 @@
+// Unified metrics layer shared by every subsystem.
+//
+// Generalizes the original service-local counters into a process-wide
+// vocabulary: monotonic Counter, signed Gauge, and the fixed-bucket
+// LatencyHistogram, all recordable lock-free from any thread, owned by a
+// MetricsRegistry that also supports labeled metric families
+// (`counter("separator_dispatch_total", {{"strategy", "planar"}})`).
+// References returned by the registry are stable for its lifetime, so hot
+// paths resolve once and then record with relaxed atomics only.
+//
+// `default_registry()` is the process-wide instance the construction
+// pipeline (hierarchy/, separator/, oracle/, sssp/) records into; the query
+// service keeps private registries per engine. Snapshots feed the exporters
+// in obs/export.hpp. Instrumentation call sites compile out entirely when
+// PATHSEP_OBS_DISABLED is defined (see the macros at the bottom and
+// obs/trace.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace pathsep::obs {
+
+/// Monotonic atomic counter. Relaxed ordering: totals are read after the
+/// workload quiesces, so no ordering with other memory is needed.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins signed gauge (queue depths, snapshot sizes, live spans).
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t delta) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram: bucket i counts samples in
+/// [2^i, 2^{i+1}) nanoseconds (bucket 0 includes 0). Recording is a single
+/// relaxed fetch_add; percentiles are computed on read by walking buckets
+/// and reporting the geometric midpoint of the one containing the rank, so
+/// they are bucket-resolution estimates (within 2x), not exact order stats.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t nanos);
+
+  std::uint64_t count() const;
+  std::uint64_t sum_nanos() const { return sum_.load(std::memory_order_relaxed); }
+  double mean_nanos() const;
+
+  /// Estimated latency in nanoseconds at quantile q. Edge cases are defined
+  /// exactly: an empty histogram returns 0 for every q; q <= 0 (and NaN)
+  /// reports the bucket of the smallest sample, q >= 1 the bucket of the
+  /// largest; with a single sample every quantile agrees.
+  double percentile_nanos(double q) const;
+
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// RAII stopwatch over util::Timer (the repo's single stopwatch): records
+/// the scope's elapsed nanoseconds into a histogram on destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram& hist) : hist_(hist) {}
+  ~ScopedLatency() { hist_.record(timer_.elapsed_ns()); }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  LatencyHistogram& hist_;
+  util::Timer timer_;
+};
+
+/// Label set of one metric instance, e.g. {{"strategy", "planar"}}.
+/// Canonicalized (sorted by key) on registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one metric, decoupled from the live atomics so
+/// exporters can render without holding the registry lock.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter_value = 0;
+  std::int64_t gauge_value = 0;
+  struct Histogram {
+    std::uint64_t count = 0;
+    std::uint64_t sum_nanos = 0;
+    double mean_nanos = 0;
+    double p50_nanos = 0;
+    double p95_nanos = 0;
+    double p99_nanos = 0;
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> buckets{};
+  } histogram;
+};
+
+using MetricsSnapshot = std::vector<MetricSample>;
+
+/// Owns counters, gauges and histograms by (name, labels); references
+/// returned are stable for the registry's lifetime, so hot paths resolve
+/// once and then record lock-free. `report()` renders everything for CLI
+/// output; `snapshot()` feeds the JSON/Prometheus exporters.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  LatencyHistogram& histogram(const std::string& name,
+                              const Labels& labels = {});
+
+  /// Multi-line "name value" / "name{count=...,p50=...}" text block.
+  std::string report() const;
+
+  /// Samples every metric, sorted by (name, labels).
+  MetricsSnapshot snapshot() const;
+
+ private:
+  template <typename M>
+  struct Slot {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<M> metric;
+  };
+  template <typename M>
+  using SlotMap = std::map<std::string, Slot<M>>;  ///< keyed by name + labels
+
+  mutable std::mutex mutex_;  ///< protects the maps, not the metric values
+  SlotMap<Counter> counters_;
+  SlotMap<Gauge> gauges_;
+  SlotMap<LatencyHistogram> histograms_;
+};
+
+/// Process-wide registry the construction pipeline records into. Never
+/// destroyed before any recording site (function-local static).
+MetricsRegistry& default_registry();
+
+}  // namespace pathsep::obs
+
+// Instrumentation call-site helpers. Every use in src/ compiles to exactly
+// nothing when PATHSEP_OBS_DISABLED is defined, so a build without
+// observability carries zero instrumentation code.
+#define PATHSEP_OBS_CAT2(a, b) a##b
+#define PATHSEP_OBS_CAT(a, b) PATHSEP_OBS_CAT2(a, b)
+
+#ifdef PATHSEP_OBS_DISABLED
+#define PATHSEP_OBS_ONLY(...)
+#define PATHSEP_STAGE_TIMER(hist_name) \
+  do {                                 \
+  } while (0)
+#else
+/// Splices the statement(s) in only when observability is compiled in.
+#define PATHSEP_OBS_ONLY(...) __VA_ARGS__
+/// Records the enclosing scope's wall time into the named histogram of the
+/// default registry (one registry map lookup per invocation — use on
+/// per-stage paths, not per-element ones).
+#define PATHSEP_STAGE_TIMER(hist_name)                                \
+  ::pathsep::obs::ScopedLatency PATHSEP_OBS_CAT(pathsep_stage_,       \
+                                                __COUNTER__) {        \
+    ::pathsep::obs::default_registry().histogram(hist_name)           \
+  }
+#endif

@@ -1,0 +1,215 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace pathsep::obs {
+
+namespace {
+
+/// Completed spans a thread can hold between drains. 4096 records is ~192KB
+/// per recording thread, reserved up front so recording never allocates;
+/// overflow is counted, not grown.
+constexpr std::size_t kSpanBufferCapacity = 4096;
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("PATHSEP_TRACE");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }()};
+  return flag;
+}
+
+std::atomic<std::uint64_t>& id_counter() {
+  static std::atomic<std::uint64_t> counter{1};  // 0 means "no span"
+  return counter;
+}
+
+thread_local std::uint64_t tls_current_span = 0;
+
+class ThreadBuffer;
+
+/// Global collection point. Intentionally leaked: worker threads of
+/// process-lifetime pools flush their buffers here during static
+/// destruction, so the sink must never be destroyed first.
+class Sink {
+ public:
+  void attach(ThreadBuffer* buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(buffer);
+  }
+  void detach(ThreadBuffer* buffer, std::vector<SpanRecord>&& records);
+  std::vector<SpanRecord> drain();
+  void count_drop() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<ThreadBuffer*> buffers_;      ///< live threads
+  std::vector<SpanRecord> flushed_;         ///< from exited threads
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+Sink& sink() {
+  static Sink* instance = new Sink();  // leaked by design (see class comment)
+  return *instance;
+}
+
+/// Per-thread span storage. Appends lock a private mutex (uncontended in
+/// steady state — only drain() ever takes it from another thread) and never
+/// allocate past construction.
+class ThreadBuffer {
+ public:
+  ThreadBuffer() : ordinal_(next_ordinal().fetch_add(1)) {
+    records_.reserve(kSpanBufferCapacity);
+    sink().attach(this);
+  }
+  ~ThreadBuffer() { sink().detach(this, std::move(records_)); }
+
+  void append(const SpanRecord& record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (records_.size() >= kSpanBufferCapacity) {
+      sink().count_drop();
+      return;
+    }
+    records_.push_back(record);
+  }
+
+  /// Copies records out and clears in place, preserving capacity.
+  void steal_into(std::vector<SpanRecord>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.insert(out.end(), records_.begin(), records_.end());
+    records_.clear();
+  }
+
+  std::uint32_t ordinal() const { return ordinal_; }
+
+ private:
+  static std::atomic<std::uint32_t>& next_ordinal() {
+    static std::atomic<std::uint32_t> counter{0};
+    return counter;
+  }
+
+  std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::uint32_t ordinal_;
+};
+
+void Sink::detach(ThreadBuffer* buffer, std::vector<SpanRecord>&& records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.erase(std::remove(buffers_.begin(), buffers_.end(), buffer),
+                 buffers_.end());
+  flushed_.insert(flushed_.end(), records.begin(), records.end());
+}
+
+std::vector<SpanRecord> Sink::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out = std::move(flushed_);
+  flushed_ = {};
+  for (ThreadBuffer* buffer : buffers_) buffer->steal_into(out);
+  return out;
+}
+
+ThreadBuffer& thread_buffer() {
+  static thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() {
+  static const util::Timer epoch;
+  return epoch.elapsed_ns();
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!trace_enabled()) return;
+  id_ = id_counter().fetch_add(1, std::memory_order_relaxed);
+  parent_ = tls_current_span;
+  tls_current_span = id_;
+  start_ns_ = trace_now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ == 0) return;
+  const std::uint64_t end_ns = trace_now_ns();
+  tls_current_span = parent_;
+  ThreadBuffer& buffer = thread_buffer();
+  buffer.append({name_, id_, parent_, start_ns_, end_ns, buffer.ordinal()});
+}
+
+std::uint64_t current_span() { return tls_current_span; }
+
+SpanParentGuard::SpanParentGuard(std::uint64_t parent)
+    : saved_(tls_current_span) {
+  tls_current_span = parent;
+}
+
+SpanParentGuard::~SpanParentGuard() { tls_current_span = saved_; }
+
+std::vector<SpanRecord> drain_spans() { return sink().drain(); }
+
+std::uint64_t dropped_spans() { return sink().dropped(); }
+
+TraceTree stitch_spans(std::vector<SpanRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns ||
+                     (a.start_ns == b.start_ns && a.id < b.id);
+            });
+  TraceTree tree;
+  tree.nodes.reserve(records.size());
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(records.size());
+  for (const SpanRecord& record : records) {
+    index.emplace(record.id, tree.nodes.size());
+    tree.nodes.push_back({record, {}});
+  }
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    const std::uint64_t parent = tree.nodes[i].span.parent;
+    const auto it = parent == 0 ? index.end() : index.find(parent);
+    if (it == index.end()) {
+      tree.roots.push_back(i);
+    } else {
+      tree.nodes[it->second].children.push_back(i);
+    }
+  }
+  return tree;
+}
+
+namespace {
+
+void format_node(const TraceTree& tree, std::size_t node, std::size_t depth,
+                 std::ostringstream& out) {
+  const SpanRecord& span = tree.nodes[node].span;
+  for (std::size_t i = 0; i < depth; ++i) out << "  ";
+  const double ms =
+      static_cast<double>(span.end_ns - span.start_ns) / 1e6;
+  out << span.name << "  " << ms << "ms  [t" << span.thread << "]\n";
+  for (std::size_t child : tree.nodes[node].children)
+    format_node(tree, child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string format_trace(const TraceTree& tree) {
+  std::ostringstream out;
+  for (std::size_t root : tree.roots) format_node(tree, root, 0, out);
+  return out.str();
+}
+
+}  // namespace pathsep::obs

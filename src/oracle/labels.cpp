@@ -6,6 +6,7 @@
 
 #include "check/audit_oracle.hpp"
 #include "check/check.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace pathsep::oracle {
@@ -78,6 +79,7 @@ Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
 std::vector<DistanceLabel> build_labels(
     const hierarchy::DecompositionTree& tree, double epsilon,
     std::size_t threads) {
+  PATHSEP_SPAN("oracle.build_labels");
   const std::size_t n = tree.root_graph().num_vertices();
   std::vector<DistanceLabel> labels(n);
   for (Vertex v = 0; v < n; ++v) labels[v].vertex = v;
@@ -85,14 +87,17 @@ std::vector<DistanceLabel> build_labels(
   // Per-node connection computation is independent — run it in parallel,
   // then assemble labels serially for a deterministic part order.
   std::vector<NodeConnections> per_node(tree.nodes().size());
+  PATHSEP_OBS_ONLY(const std::uint64_t build_span = obs::current_span();)
   util::parallel_for(
       tree.nodes().size(),
       [&](std::size_t node_id) {
+        PATHSEP_OBS_ONLY(obs::SpanParentGuard trace_parent(build_span);)
         per_node[node_id] =
             compute_connections(tree.node(static_cast<int>(node_id)), epsilon);
       },
       threads);
 
+  PATHSEP_STAGE_TIMER("oracle_assemble_labels_ns");
   for (std::size_t node_id = 0; node_id < tree.nodes().size(); ++node_id) {
     const hierarchy::DecompositionNode& node =
         tree.node(static_cast<int>(node_id));

@@ -9,6 +9,8 @@
 
 #include "check/audit_oracle.hpp"
 #include "check/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/workspace.hpp"
 
@@ -165,6 +167,8 @@ std::vector<PathProjection> compute_projections(
 
 NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
                                     double epsilon) {
+  PATHSEP_SPAN("oracle.connections");
+  PATHSEP_STAGE_TIMER("oracle_connections_ns");
   const std::size_t n = node.graph.num_vertices();
   NodeConnections out;
   out.connections.resize(node.paths.size());
@@ -189,6 +193,11 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
     for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
       const hierarchy::NodePath& path = node.paths[pi];
       if (path.stage != stage) continue;
+      PATHSEP_OBS_ONLY({
+        static obs::Counter& projections =
+            obs::default_registry().counter("oracle_path_projections_total");
+        projections.inc();
+      })
       const PathProjection proj = project_path(node.graph, path, removed);
       for (Vertex v = 0; v < n; ++v) {
         if (proj.dist[v] == graph::kInfiniteWeight) continue;
@@ -209,6 +218,11 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
     // connection assembly is deterministic by construction, not by hash
     // iteration order.
     std::sort(portals.begin(), portals.end());
+    PATHSEP_OBS_ONLY({
+      static obs::Counter& dijkstras =
+          obs::default_registry().counter("oracle_portal_dijkstras_total");
+      dijkstras.inc(portals.size());
+    })
     for (const Vertex portal : portals) {
       const Vertex sources[] = {portal};
       sssp::dijkstra_masked(node.graph, sources, removed, ws);

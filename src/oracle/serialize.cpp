@@ -28,8 +28,6 @@ std::uint64_t read_varint(std::span<const std::uint8_t> bytes,
   }
 }
 
-namespace {
-
 std::size_t varint_size(std::uint64_t value) {
   std::size_t bytes = 1;
   while (value >= 0x80) {
@@ -38,8 +36,6 @@ std::size_t varint_size(std::uint64_t value) {
   }
   return bytes;
 }
-
-}  // namespace
 
 void append_double(std::vector<std::uint8_t>& out, double value) {
   std::uint64_t bits;

@@ -24,6 +24,9 @@ std::size_t serialized_bits(const DistanceLabel& label);
 
 // Exposed for tests and for the snapshot container format (service/).
 void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+/// Encoded size of append_varint(value) in bytes; the per-level byte
+/// accounting in obs/report.cpp replays the wire format with it.
+std::size_t varint_size(std::uint64_t value);
 std::uint64_t read_varint(std::span<const std::uint8_t> bytes,
                           std::size_t& offset);
 void append_double(std::vector<std::uint8_t>& out, double value);

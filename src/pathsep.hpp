@@ -24,6 +24,9 @@
 //   routing/    stretch-(1+eps) compact routing
 //   smallworld/ Theorem 3 augmentation, Claim 1 landmarks, Kleinberg baseline
 //   doubling/   (k,alpha)-doubling separators & oracle (Thm 8)
+//   obs/        observability: metrics registry (counters/gauges/latency
+//               histograms, labeled families), hierarchical trace spans,
+//               JSON + Prometheus exporters, oracle space reports
 //   service/    serving layer: thread-pooled batched query engine with
 //               LRU result cache, oracle snapshots on disk, metrics
 #pragma once
@@ -44,6 +47,10 @@
 #include "minorfree/apex_separator.hpp"
 #include "minorfree/vortex.hpp"
 #include "minorfree/vortex_path.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "oracle/exact_oracle.hpp"
 #include "oracle/labels.hpp"
 #include "oracle/path_oracle.hpp"

@@ -1,7 +1,21 @@
 #include "separator/finders.hpp"
+
+#include "obs/metrics.hpp"
 #include "treedec/tree_decomposition.hpp"
 
 namespace pathsep::separator {
+
+namespace {
+
+/// Labeled per-strategy counter: which finder AutoSeparator actually ran.
+inline void count_dispatch([[maybe_unused]] const char* strategy) {
+  PATHSEP_OBS_ONLY(obs::default_registry()
+                       .counter("separator_dispatch_total",
+                                {{"strategy", strategy}})
+                       .inc();)
+}
+
+}  // namespace
 
 AutoSeparator::AutoSeparator(
     std::optional<std::vector<graph::Point>> root_positions,
@@ -14,12 +28,22 @@ PathSeparator AutoSeparator::find(const Graph& g,
                                   std::span<const Vertex> root_ids) const {
   const std::size_t n = g.num_vertices();
   if (n == 0) return {};
-  if (g.num_edges() == n - 1) return tree_.find(g, root_ids);
-  if (planar_) return planar_->find(g, root_ids);
+  if (g.num_edges() == n - 1) {
+    count_dispatch("tree");
+    return tree_.find(g, root_ids);
+  }
+  if (planar_) {
+    count_dispatch("planar");
+    return planar_->find(g, root_ids);
+  }
   // No drawing available: accept the center bag when the heuristic width is
   // small, otherwise fall back to greedy paths.
   const treedec::TreeDecomposition td = treedec::heuristic_decomposition(g);
-  if (td.width() + 1 <= treewidth_threshold_) return bag_.find(g, root_ids);
+  if (td.width() + 1 <= treewidth_threshold_) {
+    count_dispatch("treewidth_bag");
+    return bag_.find(g, root_ids);
+  }
+  count_dispatch("greedy_paths");
   return greedy_.find(g, root_ids);
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "graph/connectivity.hpp"
+#include "obs/metrics.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/workspace.hpp"
 #include "util/table.hpp"
@@ -11,6 +12,12 @@
 namespace pathsep::separator {
 
 ValidationReport validate(const Graph& g, const PathSeparator& s) {
+  PATHSEP_OBS_ONLY({
+    static obs::Counter& validations =
+        obs::default_registry().counter("separator_validations_total");
+    validations.inc();
+  })
+  PATHSEP_STAGE_TIMER("separator_validate_ns");
   ValidationReport report;
   report.path_count = s.path_count();
   const std::size_t n = g.num_vertices();

@@ -1,79 +1,20 @@
-// Lightweight service metrics: named atomic counters plus a fixed-bucket
-// latency histogram.
+// Service-facing aliases for the shared observability metrics (obs/).
 //
-// Every query path in the engine records through these, so the invariants
-// the tests check (hits + misses == queries, histogram count == queries)
-// hold by construction. The histogram uses 48 power-of-two nanosecond
-// buckets — coarse, but lock-free to record and good enough to report the
-// p50/p95/p99 a load generator or dashboard wants.
+// The engine's counters and latency histograms started life here; they are
+// now the general-purpose obs::MetricsRegistry so every layer (sssp,
+// hierarchy, oracle, service) records through one implementation. This
+// header keeps the service:: spellings working — existing engine code and
+// tests are written against them — as pure aliases with zero extra code.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
+#include "obs/metrics.hpp"
 
 namespace pathsep::service {
 
-/// Monotonic atomic counter. Relaxed ordering: totals are read after the
-/// workload quiesces, so no ordering with other memory is needed.
-class Counter {
- public:
-  void inc(std::uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Fixed-bucket latency histogram: bucket i counts samples in
-/// [2^i, 2^{i+1}) nanoseconds (bucket 0 includes 0). Recording is a single
-/// relaxed fetch_add; percentiles are computed on read by walking buckets
-/// and reporting the geometric midpoint of the one containing the rank, so
-/// they are bucket-resolution estimates (within 2x), not exact order stats.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 48;
-
-  void record(std::uint64_t nanos);
-
-  std::uint64_t count() const;
-  std::uint64_t sum_nanos() const { return sum_.load(std::memory_order_relaxed); }
-  double mean_nanos() const;
-
-  /// q in [0, 1]; returns the estimated latency in nanoseconds at that
-  /// quantile, 0 if empty.
-  double percentile_nanos(double q) const;
-
-  std::uint64_t bucket_count(std::size_t i) const {
-    return buckets_[i].load(std::memory_order_relaxed);
-  }
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> sum_{0};
-};
-
-/// Owns counters and histograms by name; references returned are stable for
-/// the registry's lifetime, so hot paths resolve once and then record
-/// lock-free. `report()` renders everything for CLI output.
-class MetricsRegistry {
- public:
-  Counter& counter(const std::string& name);
-  LatencyHistogram& histogram(const std::string& name);
-
-  /// Multi-line "name value" / "name{p50,p95,p99}" text block.
-  std::string report() const;
-
- private:
-  mutable std::mutex mutex_;  ///< protects the maps, not the metric values
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-};
+using Counter = obs::Counter;
+using Gauge = obs::Gauge;
+using LatencyHistogram = obs::LatencyHistogram;
+using MetricsRegistry = obs::MetricsRegistry;
+using ScopedLatency = obs::ScopedLatency;
 
 }  // namespace pathsep::service

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace pathsep::service {
@@ -17,8 +18,11 @@ QueryEngine::QueryEngine(std::shared_ptr<const oracle::PathOracle> snapshot,
       cache_misses_(&metrics_.counter("cache_misses")),
       batches_total_(&metrics_.counter("batches_total")),
       latency_(&metrics_.histogram("query_latency_ns")),
+      snapshot_vertices_(&metrics_.gauge("snapshot_vertices")),
       pool_(options.threads) {
   if (!snapshot_) throw std::invalid_argument("null oracle snapshot");
+  snapshot_vertices_->set(
+      static_cast<std::int64_t>(snapshot_->num_vertices()));
 }
 
 graph::Weight QueryEngine::answer_one(const oracle::PathOracle& oracle,
@@ -55,6 +59,7 @@ std::vector<graph::Weight> QueryEngine::query_batch(
     std::span<const Query> queries) {
   std::vector<graph::Weight> results(queries.size());
   if (queries.empty()) return results;
+  PATHSEP_SPAN("service.query_batch");
   batches_total_->inc();
   const std::shared_ptr<const oracle::PathOracle> snap = snapshot();
 
@@ -74,11 +79,14 @@ std::vector<graph::Weight> QueryEngine::query_batch(
   std::mutex done_mutex;
   std::condition_variable done_cv;
   std::size_t remaining = num_chunks;
+  PATHSEP_OBS_ONLY(const std::uint64_t batch_span = obs::current_span();)
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(begin + chunk, queries.size());
     pool_.submit([this, &snap, &queries, &results, &done_mutex, &done_cv,
-                  &remaining, begin, end] {
+                  &remaining, begin, end
+                  PATHSEP_OBS_ONLY(, batch_span)] {
+      PATHSEP_OBS_ONLY(obs::SpanParentGuard trace_parent(batch_span);)
       for (std::size_t i = begin; i < end; ++i)
         results[i] = answer_one(*snap, queries[i].u, queries[i].v);
       std::lock_guard<std::mutex> lock(done_mutex);
@@ -101,6 +109,8 @@ void QueryEngine::replace_snapshot(
   {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     snapshot_.swap(snapshot);
+    snapshot_vertices_->set(
+        static_cast<std::int64_t>(snapshot_->num_vertices()));
   }
   cache_.clear();
 }

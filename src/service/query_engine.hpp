@@ -89,6 +89,7 @@ class QueryEngine {
   Counter* cache_misses_;
   Counter* batches_total_;
   LatencyHistogram* latency_;
+  Gauge* snapshot_vertices_;  ///< vertex count of the serving snapshot
   ThreadPool pool_;  ///< last member: workers die before state they touch
 };
 

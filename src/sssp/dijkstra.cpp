@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "sssp/workspace.hpp"
 
 namespace pathsep::sssp {
@@ -27,6 +28,10 @@ void run(const Graph& g, std::span<const Vertex> sources,
   const std::size_t n = g.num_vertices();
   ws.begin(n);
   std::vector<DijkstraWorkspace::HeapEntry>& heap = ws.heap();
+  // Work counters live in locals (registers) during the loop and are
+  // flushed once per run — to the workspace and to process-wide obs
+  // counters — so accounting never touches shared state in the hot loop.
+  PATHSEP_OBS_ONLY(DijkstraWorkspace::WorkStats batch; batch.runs = 1;)
   for (Vertex s : sources) {
     assert(s < n);
     assert(!removed || !(*removed)[s]);
@@ -34,12 +39,15 @@ void run(const Graph& g, std::span<const Vertex> sources,
     ws.update(s, 0, graph::kInvalidVertex);
     heap.push_back({0, s});
     std::push_heap(heap.begin(), heap.end(), heap_after);
+    PATHSEP_OBS_ONLY(++batch.heap_pushes;)
   }
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), heap_after);
     const auto [d, v] = heap.back();
     heap.pop_back();
+    PATHSEP_OBS_ONLY(++batch.heap_pops;)
     if (d > ws.dist(v)) continue;  // stale entry
+    PATHSEP_OBS_ONLY(++batch.settled;)
     if (d > radius) break;
     if (v == target) break;
     for (const graph::Arc& a : g.neighbors(v)) {
@@ -49,9 +57,29 @@ void run(const Graph& g, std::span<const Vertex> sources,
         ws.update(a.to, nd, v);
         heap.push_back({nd, a.to});
         std::push_heap(heap.begin(), heap.end(), heap_after);
+        PATHSEP_OBS_ONLY(++batch.relaxed; ++batch.heap_pushes;)
       }
     }
   }
+  PATHSEP_OBS_ONLY({
+    ws.record_work(batch);
+    using obs::Counter;
+    static Counter& runs =
+        obs::default_registry().counter("sssp_dijkstra_runs_total");
+    static Counter& settled =
+        obs::default_registry().counter("sssp_dijkstra_settled_total");
+    static Counter& relaxed =
+        obs::default_registry().counter("sssp_dijkstra_relaxed_total");
+    static Counter& pushes =
+        obs::default_registry().counter("sssp_dijkstra_heap_pushes_total");
+    static Counter& pops =
+        obs::default_registry().counter("sssp_dijkstra_heap_pops_total");
+    runs.inc();
+    settled.inc(batch.settled);
+    relaxed.inc(batch.relaxed);
+    pushes.inc(batch.heap_pushes);
+    pops.inc(batch.heap_pops);
+  })
 }
 
 /// Legacy dense-output path: run in the thread's workspace, then export.

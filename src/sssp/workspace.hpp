@@ -72,6 +72,28 @@ class DijkstraWorkspace {
   };
   std::vector<HeapEntry>& heap() { return heap_; }
 
+  /// Lifetime totals of the Dijkstra work routed through this workspace.
+  /// The runner adds one batch per run (never per heap operation), so
+  /// accounting stays off the inner loop; obs counters mirror these
+  /// per-process. Plain (non-atomic) on purpose — a workspace is owned by
+  /// one thread.
+  struct WorkStats {
+    std::uint64_t runs = 0;
+    std::uint64_t settled = 0;     ///< pops accepted (not stale)
+    std::uint64_t relaxed = 0;     ///< edge relaxations that improved a dist
+    std::uint64_t heap_pushes = 0;
+    std::uint64_t heap_pops = 0;
+  };
+  const WorkStats& work() const { return work_; }
+  void record_work(const WorkStats& batch) {
+    work_.runs += batch.runs;
+    work_.settled += batch.settled;
+    work_.relaxed += batch.relaxed;
+    work_.heap_pushes += batch.heap_pushes;
+    work_.heap_pops += batch.heap_pops;
+  }
+  void reset_work() { work_ = WorkStats{}; }
+
  private:
   std::vector<Weight> dist_;
   std::vector<Vertex> parent_;
@@ -79,6 +101,7 @@ class DijkstraWorkspace {
   std::uint64_t epoch_ = 0;           ///< 0 = never used; begin() pre-increments
   std::vector<HeapEntry> heap_;
   std::size_t n_ = 0;
+  WorkStats work_;
 };
 
 /// The calling thread's workspace (thread_local): construction workers each

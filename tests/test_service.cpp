@@ -176,6 +176,49 @@ TEST(Metrics, EmptyHistogramReportsZero) {
   EXPECT_EQ(hist.mean_nanos(), 0.0);
 }
 
+TEST(Metrics, EmptyHistogramQuantileEdgesAreZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.percentile_nanos(0.0), 0.0);
+  EXPECT_EQ(hist.percentile_nanos(1.0), 0.0);
+  EXPECT_EQ(hist.percentile_nanos(-3.0), 0.0);
+  EXPECT_EQ(hist.percentile_nanos(42.0), 0.0);
+}
+
+TEST(Metrics, SingleSampleHistogramAgreesAtEveryQuantile) {
+  LatencyHistogram hist;
+  hist.record(5000);  // bucket [4096, 8192)
+  const double estimate = hist.percentile_nanos(0.5);
+  EXPECT_GE(estimate, 4096.0);
+  EXPECT_LE(estimate, 8192.0);
+  // With one sample every quantile — including the edges — must agree.
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(hist.percentile_nanos(q), estimate) << "q=" << q;
+}
+
+TEST(Metrics, QuantileEdgesPickSmallestAndLargestBuckets) {
+  LatencyHistogram hist;
+  hist.record(100);      // bucket [64, 128)
+  hist.record(1000000);  // bucket [524288, 1048576)
+  const double low = hist.percentile_nanos(0.0);
+  const double high = hist.percentile_nanos(1.0);
+  EXPECT_GE(low, 64.0);
+  EXPECT_LE(low, 128.0);
+  EXPECT_GE(high, 524288.0);
+  EXPECT_LE(high, 1048576.0);
+  // Out-of-range q clamps to the same edges rather than misbehaving.
+  EXPECT_DOUBLE_EQ(hist.percentile_nanos(-1.0), low);
+  EXPECT_DOUBLE_EQ(hist.percentile_nanos(2.0), high);
+}
+
+TEST(Metrics, ZeroNanosecondSampleLandsInBucketZero) {
+  LatencyHistogram hist;
+  hist.record(0);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_GE(hist.percentile_nanos(0.5), 0.0);
+  EXPECT_LE(hist.percentile_nanos(0.5), 2.0);
+}
+
 TEST(Metrics, ReportMentionsEveryMetric) {
   MetricsRegistry registry;
   registry.counter("alpha").inc(3);
