@@ -1,17 +1,21 @@
 // Command-line separator explorer: load (or generate) a graph, compute its
-// k-path separator hierarchy with the auto-dispatching finder, validate it
+// k-path separator hierarchy with a chosen finder backend, validate it
 // against Definition 1, and print per-level statistics. Handy for poking at
 // your own edge lists:
 //
 //   ./separator_tool --load=mygraph.txt
 //   ./separator_tool --family=apollonian --n=5000 --save=mygraph.txt
 //   ./separator_tool --family=expander --n=1024 --max-levels=4
+//   ./separator_tool --family=road --n=10000 --finder=flow --pareto
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <optional>
 
 #include "check/check.hpp"
+#include "flow/cutter.hpp"
+#include "flow/flow_separator.hpp"
+#include "flow/registry.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -33,6 +37,9 @@ int run(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto max_levels =
       static_cast<std::uint32_t>(args.get_int("max-levels", 6));
+  const std::string finder_name = args.get("finder", "auto");
+  const double balance_eps = args.get_double("balance-eps", 0.0);
+  const bool pareto = args.get_bool("pareto");
   util::Rng rng(seed);
 
   graph::Graph g;
@@ -74,8 +81,37 @@ int run(int argc, char** argv) {
     return 1;
   }
 
-  const separator::AutoSeparator finder(positions);
-  const hierarchy::DecompositionTree tree(g, finder);
+  flow::FlowSeparatorOptions flow_options;
+  flow_options.balance_eps = balance_eps;
+  std::unique_ptr<separator::SeparatorFinder> finder;
+  try {
+    finder = flow::make_finder(finder_name, positions, flow_options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (pareto) {
+    // One cutting round of the whole graph: the cut-size-vs-balance front
+    // the flow backend picks from (other finders expose no front).
+    flow::FlowSeparator front_finder(positions, flow_options);
+    std::vector<graph::Vertex> ids(g.num_vertices());
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) ids[v] = v;
+    const flow::ParetoFront front = front_finder.pareto_front(g, ids);
+    std::printf("\nflow Pareto front (%zu points):\n", front.size());
+    util::TableWriter front_table(
+        {"cut", "max_side", "max_side_frac", "direction", "permille", "side"});
+    for (const flow::CutCandidate& c : front.cuts())
+      front_table.add_row({util::strf("%zu", c.cut.size()),
+                           util::strf("%zu", c.max_side()),
+                           util::strf("%.3f", c.max_side_fraction()),
+                           util::strf("%u", c.direction),
+                           util::strf("%u", c.permille),
+                           c.source_side ? "source" : "target"});
+    front_table.print(std::cout);
+  }
+
+  const hierarchy::DecompositionTree tree(g, *finder);
 
   std::printf("\nhierarchy: %zu nodes, depth %u (log2 n + 1 = %.1f), "
               "max k = %zu\n",

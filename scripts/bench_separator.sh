@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds and runs the separator-backend benchmark (bench/bench_separator.cpp)
+# and records the results as BENCH_separator.json at the repository root:
+# E1/E1b separator quality, the E16 flow-vs-structural Pareto comparison on a
+# perturbed grid, and E16b downstream label bytes per backend. Extra
+# arguments are forwarded to the binary, e.g.:
+#
+#   scripts/bench_separator.sh                        # acceptance-scale run
+#   scripts/bench_separator.sh --road-side=80 --label-side=40   # quick smoke
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+cmake --preset release
+cmake --build build -j "$JOBS" --target bench_separator
+./build/bench/bench_separator --out=BENCH_separator.json "$@"

@@ -9,9 +9,10 @@
 #   release  strict-warnings (-Werror) build, ctest twice — plain and with
 #            PATHSEP_AUDIT=1 so every deep invariant validator runs
 #   asan     AddressSanitizer + UndefinedBehaviorSanitizer build, full ctest
-#   tsan     ThreadSanitizer build, ctest -L 'service|parallel|obs' (the
-#            concurrent query layer, the parallel construction pipeline, and
-#            the observability layer's cross-thread recording)
+#   tsan     ThreadSanitizer build, ctest -L 'service|parallel|obs|flow' (the
+#            concurrent query layer, the parallel construction pipeline, the
+#            observability layer's cross-thread recording, and the flow
+#            backend's thread-count determinism)
 #   obsoff   PATHSEP_OBS_DISABLED build with -Werror — proves every
 #            instrumentation call site compiles out cleanly — plus
 #            ctest -L obs (the obs suite adapts to the compiled-out mode)
@@ -52,10 +53,10 @@ if want asan; then
 fi
 
 if want tsan; then
-  banner "tsan: ThreadSanitizer build + ctest -L 'service|parallel|obs'"
+  banner "tsan: ThreadSanitizer build + ctest -L 'service|parallel|obs|flow'"
   cmake --preset tsan
   cmake --build build-tsan -j "$JOBS"
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'service|parallel|obs'
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'service|parallel|obs|flow'
 fi
 
 if want obsoff; then

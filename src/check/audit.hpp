@@ -6,6 +6,8 @@
 //   audit_graph          graph/        CSR symmetry, ordering, weight sanity
 //   audit_separator      separator/    Definition 1 (P1 shortest paths, P3
 //                                      balance)
+//   audit_flow_cut       flow/         max-flow/min-cut duality of every
+//                                      cutter-produced cut
 //   audit_decomposition  hierarchy/    cover & disjointness, links, chains
 //   audit_labels         oracle/       label well-formedness + decoded
 //                                      distance symmetry
@@ -15,6 +17,7 @@
 //   audit_thread_pool    service/      queue/worker state sanity
 #pragma once
 
+#include "check/audit_flow.hpp"       // IWYU pragma: export
 #include "check/audit_graph.hpp"      // IWYU pragma: export
 #include "check/audit_hierarchy.hpp"  // IWYU pragma: export
 #include "check/audit_oracle.hpp"     // IWYU pragma: export

@@ -1,0 +1,121 @@
+#include "check/audit_flow.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace pathsep::check {
+
+using flow::UnitFlowNetwork;
+using graph::Vertex;
+
+void audit_flow_cut(const UnitFlowNetwork& net,
+                    const UnitFlowNetwork::SideCut& cut, bool source_side) {
+  const std::size_t m_count = net.num_members();
+  const auto n_nodes = static_cast<std::uint32_t>(net.num_nodes());
+
+  // --- Conservation: net outflow Σ (init - cap) over a node's arcs must be
+  // zero everywhere except source out-nodes (which emit) and target in-nodes
+  // (which absorb); the totals must both equal the flow value.
+  std::int64_t emitted = 0;
+  std::int64_t absorbed = 0;
+  for (std::uint32_t node = 0; node < n_nodes; ++node) {
+    std::int64_t net_out = 0;
+    for (std::uint32_t a = net.first_arc(node); a < net.end_arc(node); ++a)
+      net_out += static_cast<std::int64_t>(net.arc_init(a)) -
+                 static_cast<std::int64_t>(net.arc_cap(a));
+    const std::uint32_t i = node / 2;
+    const bool out_node = (node & 1u) != 0;
+    if (out_node && net.is_source_index(i)) {
+      PATHSEP_ASSERT(net_out >= 0, "source out-node absorbs flow: member ", i,
+                     " net ", net_out);
+      emitted += net_out;
+    } else if (!out_node && net.is_target_index(i)) {
+      PATHSEP_ASSERT(net_out <= 0, "target in-node emits flow: member ", i,
+                     " net ", net_out);
+      absorbed -= net_out;
+    } else {
+      PATHSEP_ASSERT(net_out == 0, "flow conservation violated at node ",
+                     node, ": net ", net_out);
+    }
+  }
+  const auto flow_value = static_cast<std::int64_t>(net.flow_value());
+  PATHSEP_ASSERT(emitted == flow_value, "sources emit ", emitted,
+                 " but flow value is ", flow_value);
+  PATHSEP_ASSERT(absorbed == flow_value, "targets absorb ", absorbed,
+                 " but flow value is ", flow_value);
+
+  // --- Independent residual reachability, by definition: forward over
+  // residual arcs from source out-nodes, or backward (mate arcs) from
+  // target in-nodes.
+  std::vector<char> reached(n_nodes, 0);
+  std::vector<std::uint32_t> queue;
+  auto mark = [&](std::uint32_t node) {
+    if (reached[node] == 0) {
+      reached[node] = 1;
+      queue.push_back(node);
+    }
+  };
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(m_count); ++i) {
+    if (source_side && net.is_source_index(i)) mark(2 * i + 1);
+    if (!source_side && net.is_target_index(i)) mark(2 * i);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t node = queue[head];
+    for (std::uint32_t a = net.first_arc(node); a < net.end_arc(node); ++a) {
+      const std::uint32_t residual =
+          source_side ? net.arc_cap(a) : net.arc_cap(net.arc_mate(a));
+      if (residual > 0) mark(net.arc_to(a));
+    }
+  }
+
+  // --- Classification: the near side is exactly the residual-reachable
+  // member set, the cut exactly the saturated frontier (side-facing split
+  // node reached, other one not).
+  std::vector<char> in_cut(m_count, 0);
+  std::size_t cut_at = 0;
+  std::size_t side_count = 0;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(m_count); ++i) {
+    const char deep = reached[source_side ? 2 * i + 1 : 2 * i];
+    const char frontier = reached[source_side ? 2 * i : 2 * i + 1];
+    if (deep != 0) {
+      ++side_count;
+      PATHSEP_ASSERT(!(source_side ? net.is_target_index(i)
+                                   : net.is_source_index(i)),
+                     "opposite terminal residual-reachable: member ", i);
+      continue;
+    }
+    if (frontier == 0) continue;
+    // Saturated frontier vertex: its unit arc must carry the unit.
+    in_cut[i] = 1;
+    const std::uint32_t vertex_arc = net.first_arc(2 * i);
+    PATHSEP_ASSERT(net.arc_init(vertex_arc) == 1,
+                   "cut vertex is a terminal: member ", i);
+    PATHSEP_ASSERT(net.arc_cap(vertex_arc) == 0,
+                   "cut vertex arc not saturated: member ", i);
+    PATHSEP_ASSERT(cut_at < cut.cut.size() &&
+                       cut.cut[cut_at] == net.member(i),
+                   "cut list disagrees with residual frontier at member ", i);
+    ++cut_at;
+  }
+  PATHSEP_ASSERT(cut_at == cut.cut.size(), "cut list has ",
+                 cut.cut.size() - cut_at, " extra vertices");
+  PATHSEP_ASSERT(side_count == cut.side_size, "side size ", cut.side_size,
+                 " but residual reach covers ", side_count);
+
+  // --- Graph-level separation: no alive edge leaves the near side except
+  // into the cut (hence removing the cut disconnects near from far).
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(m_count); ++i) {
+    if (reached[source_side ? 2 * i + 1 : 2 * i] == 0) continue;
+    for (const graph::Arc& arc : net.graph().neighbors(net.member(i))) {
+      const std::uint32_t j = net.member_index(arc.to);
+      if (j == UnitFlowNetwork::kNotMember) continue;
+      PATHSEP_ASSERT(
+          reached[source_side ? 2 * j + 1 : 2 * j] != 0 || in_cut[j] != 0,
+          "edge escapes the near side: ", net.member(i), " -> ", arc.to);
+    }
+  }
+}
+
+}  // namespace pathsep::check

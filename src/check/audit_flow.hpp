@@ -1,0 +1,20 @@
+// Deep invariant audit of a flow-cutter cut against max-flow/min-cut
+// duality.
+#pragma once
+
+#include "flow/max_flow.hpp"
+
+namespace pathsep::check {
+
+/// Validates a SideCut read off `net` right after augment_to_max() returned
+/// kMaxFlow: flow conservation at every split node (sources emit exactly
+/// flow_value(), targets absorb it), every cut vertex is a saturated
+/// non-terminal, the cut/side classification matches an independently
+/// recomputed residual reachability, and no alive edge crosses from the
+/// near side to the far side. `source_side` says which residual direction
+/// produced the cut. Raises a structured failure on any violation.
+void audit_flow_cut(const flow::UnitFlowNetwork& net,
+                    const flow::UnitFlowNetwork::SideCut& cut,
+                    bool source_side);
+
+}  // namespace pathsep::check

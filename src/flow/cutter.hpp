@@ -1,0 +1,90 @@
+// Incremental flow cutter: grows source/target bands along a vertex
+// ordering and enumerates the cut-size-vs-balance Pareto front.
+//
+// The FlowCutter idea specialized to band growth: given an ordering of the
+// component (an inertial projection or a double-sweep score), seed the flow
+// network with the first p per mille of the order as sources and the last p
+// as targets, run Dinic to max flow, and read both residual cuts off the
+// network. Growing p trades cut size for balance — small bands give tiny but
+// lopsided cuts, large bands force the cut toward the middle — and because
+// terminals only ever grow, the flow from the previous step stays feasible
+// and each step pays only for its new augmenting paths. Every (cut size,
+// max side) pair seen is offered to a shared ParetoFront; the caller merges
+// fronts across several orderings and picks the best balanced cut.
+//
+// Everything here is deterministic: band order ties break by vertex id, the
+// schedule is fixed, and candidate admission resolves ties toward the
+// earliest offer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flow/max_flow.hpp"
+#include "graph/graph.hpp"
+
+namespace pathsep::flow {
+
+/// One cut read off the network at some growth step.
+struct CutCandidate {
+  std::vector<Vertex> cut;       ///< global ids, ascending
+  std::size_t side_near = 0;     ///< vertices on the side the cut hugs
+  std::size_t side_far = 0;      ///< everything else (= M - cut - near)
+  std::size_t num_members = 0;   ///< M: size of the component being cut
+  std::uint32_t direction = 0;   ///< which ordering produced it
+  std::uint32_t permille = 0;    ///< band size at extraction time
+  bool source_side = false;      ///< true: cut hugs the source band
+
+  std::size_t max_side() const { return std::max(side_near, side_far); }
+  double max_side_fraction() const {
+    return num_members == 0
+               ? 0.0
+               : static_cast<double>(max_side()) /
+                     static_cast<double>(num_members);
+  }
+};
+
+/// Pareto front over (cut size, max side), both minimized. Kept sorted by
+/// cut size ascending / max side strictly descending; ties keep the
+/// incumbent, so a deterministic offer order yields a deterministic front.
+class ParetoFront {
+ public:
+  /// Admits `c` unless an existing candidate weakly dominates it; evicts
+  /// candidates `c` strictly improves on. Returns true when admitted.
+  bool offer(CutCandidate c);
+
+  bool empty() const { return cuts_.empty(); }
+  std::size_t size() const { return cuts_.size(); }
+  /// Ascending cut size, strictly descending max side.
+  std::span<const CutCandidate> cuts() const { return cuts_; }
+
+  /// Smallest cut whose max side is at most `max_side`; nullptr if none.
+  const CutCandidate* best_within(std::size_t max_side) const;
+  /// Minimum max side, ties toward smaller cut; nullptr when empty.
+  const CutCandidate* most_balanced() const;
+
+ private:
+  std::vector<CutCandidate> cuts_;
+};
+
+struct CutterOptions {
+  /// Stop growing an ordering once a candidate achieves
+  /// max_side <= (0.5 + balance_eps) * M.
+  double balance_eps = 0.0;
+  /// Abandon an ordering when the flow (hence any further cut) exceeds this.
+  /// 0 = auto: max(64, 4 * sqrt(M)) — cheap bail-out on expanders.
+  std::size_t max_cut = 0;
+  /// Tag recorded on candidates (one per ordering tried by the caller).
+  std::uint32_t direction = 0;
+};
+
+/// Runs the band-growth cutter over the component `members` (sorted
+/// ascending, alive under `removed`) using `scores[i]` as the band
+/// coordinate of `members[i]`, and merges every cut seen into `front`.
+void flow_cutter(const Graph& g, std::span<const Vertex> members,
+                 const std::vector<bool>& removed,
+                 std::span<const double> scores, const CutterOptions& options,
+                 ParetoFront& front);
+
+}  // namespace pathsep::flow

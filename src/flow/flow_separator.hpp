@@ -1,0 +1,68 @@
+// FlowSeparator: the flow-cutter backend behind the SeparatorFinder
+// interface.
+//
+// Per oversized component it merges the Pareto fronts of four inertial
+// orderings (or one double-sweep ordering when no coordinates are known),
+// picks the smallest cut that halves the component — falling back to the
+// most balanced cut, and to a pseudo-diameter shortest path when the cutter
+// comes back empty (flow budget exceeded on expander-like components) — and
+// decomposes the chosen cut into shortest-path cover paths, one stage per
+// path, so the result is a valid Definition 1 k-path separator. The whole
+// construction is deterministic: no randomness anywhere, every tie broken
+// by vertex id, so decomposition trees and oracle labels built through it
+// are byte-identical at any thread count.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/cutter.hpp"
+#include "graph/generators.hpp"
+#include "separator/path_separator.hpp"
+
+namespace pathsep::flow {
+
+struct FlowSeparatorOptions {
+  /// Accept a cut once max side <= (0.5 + balance_eps) * component size.
+  double balance_eps = 0.0;
+  /// Per-ordering flow budget; 0 = auto (max(64, 4·√M)).
+  std::size_t max_cut = 0;
+  /// Components at or below this size skip the flow machinery and take the
+  /// pseudo-diameter path directly — the cut cannot beat it by enough to pay
+  /// for network construction.
+  std::size_t small_component = 32;
+};
+
+class FlowSeparator final : public separator::SeparatorFinder {
+ public:
+  /// `root_positions`, when given, are coordinates of the *root* graph
+  /// (indexed by root id, like PlanarCycleSeparator's) and enable the four
+  /// inertial orderings; without them every component uses the double-sweep
+  /// ordering.
+  explicit FlowSeparator(
+      std::optional<std::vector<graph::Point>> root_positions = std::nullopt,
+      FlowSeparatorOptions options = {});
+
+  using SeparatorFinder::find;
+  separator::PathSeparator find(const Graph& g,
+                                std::span<const Vertex> root_ids) const override;
+  std::string name() const override { return "flow"; }
+
+  /// Cut-size-vs-balance front of g's largest component (one cutting round,
+  /// no path decomposition): the evaluation surface behind the bench harness
+  /// and `separator_tool --pareto`.
+  ParetoFront pareto_front(const Graph& g,
+                           std::span<const Vertex> root_ids) const;
+
+ private:
+  ParetoFront cut_component(const Graph& g, std::span<const Vertex> root_ids,
+                            std::span<const Vertex> members,
+                            const std::vector<bool>& removed) const;
+
+  std::optional<std::vector<graph::Point>> positions_;
+  FlowSeparatorOptions options_;
+};
+
+}  // namespace pathsep::flow

@@ -1,0 +1,75 @@
+#include "flow/inertial.hpp"
+
+#include <stdexcept>
+
+#include "check/check.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/workspace.hpp"
+
+namespace pathsep::flow {
+
+std::vector<double> inertial_scores(std::span<const Vertex> members,
+                                    std::span<const Vertex> root_ids,
+                                    std::span<const graph::Point> positions,
+                                    std::uint32_t direction) {
+  PATHSEP_ASSERT(direction < kNumInertialDirections,
+                 "unknown inertial direction: ", direction);
+  // Directions (1,0), (0,1), (1,1), (1,-1): axis cuts plus diagonals.
+  const double dx = direction == 1 ? 0.0 : 1.0;
+  const double dy = direction == 0 ? 0.0 : (direction == 3 ? -1.0 : 1.0);
+
+  std::vector<double> scores(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const Vertex v = members[i];
+    if (v >= root_ids.size() || root_ids[v] >= positions.size())
+      throw std::invalid_argument("flow: vertex without a root position");
+    const graph::Point p = positions[root_ids[v]];
+    scores[i] = dx * p.x + dy * p.y;
+  }
+  return scores;
+}
+
+std::vector<double> sweep_scores(const Graph& g,
+                                 std::span<const Vertex> members,
+                                 const std::vector<bool>& removed) {
+  std::vector<double> scores(members.size(), 0.0);
+  if (members.size() < 2) return scores;
+
+  // Pseudo-diameter double sweep (deterministic: sweeps start at the
+  // smallest id and farthest picks break ties toward the smaller id).
+  sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
+  auto farthest = [&](Vertex from) {
+    const Vertex src[] = {from};
+    sssp::dijkstra_masked(g, src, removed, ws);
+    Vertex far = from;
+    graph::Weight far_dist = 0;
+    for (const Vertex v : members)
+      if (ws.dist(v) != graph::kInfiniteWeight && ws.dist(v) > far_dist) {
+        far_dist = ws.dist(v);
+        far = v;
+      }
+    return far;
+  };
+  const Vertex a = farthest(members[0]);
+  const Vertex b = farthest(a);
+
+  // The second sweep (from a) is still in the workspace: capture it before
+  // the sweep from b recycles the arrays.
+  std::vector<double> dist_a(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i)
+    dist_a[i] = ws.dist(members[i]);
+
+  const Vertex src_b[] = {b};
+  sssp::dijkstra_masked(g, src_b, removed, ws);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const graph::Weight db = ws.dist(members[i]);
+    // Unreached members (disconnected under the mask) keep score 0: they
+    // land mid-band and never seed a terminal set on their own.
+    if (dist_a[i] == graph::kInfiniteWeight || db == graph::kInfiniteWeight)
+      continue;
+    scores[i] = dist_a[i] - db;
+  }
+  return scores;
+}
+
+}  // namespace pathsep::flow

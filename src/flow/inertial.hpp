@@ -1,0 +1,44 @@
+// Band orderings for the flow cutter.
+//
+// InertialFlow's observation: on geometric graphs, sorting vertices along a
+// straight line and cutting between the extremes finds near-optimal balanced
+// separators. inertial_scores() projects vertex coordinates onto one of four
+// fixed directions — horizontal, vertical, and the two diagonals — giving
+// four independent orderings the cutter merges into one Pareto front. For
+// coordinate-free graphs, sweep_scores() substitutes a weighted double-sweep
+// pseudo-diameter: score(v) = dist(a, v) - dist(b, v) for the endpoints a, b
+// of two masked Dijkstra sweeps, which orders vertices along the graph's
+// longest axis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace pathsep::flow {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Number of projection directions inertial_scores understands.
+inline constexpr std::uint32_t kNumInertialDirections = 4;
+
+/// Projects `positions[root_ids[v]]` for each member v onto direction
+/// `direction` (0: (1,0), 1: (0,1), 2: (1,1), 3: (1,-1)); returns one score
+/// per member, aligned with `members`.
+std::vector<double> inertial_scores(std::span<const Vertex> members,
+                                    std::span<const Vertex> root_ids,
+                                    std::span<const graph::Point> positions,
+                                    std::uint32_t direction);
+
+/// Coordinate-free fallback: double-sweep pseudo-diameter scores
+/// dist(a, v) - dist(b, v) over the masked subgraph, deterministic (sweep
+/// endpoints tie-break toward the smallest id). `members` must be sorted
+/// ascending and connected under `removed`.
+std::vector<double> sweep_scores(const Graph& g,
+                                 std::span<const Vertex> members,
+                                 const std::vector<bool>& removed);
+
+}  // namespace pathsep::flow

@@ -1,0 +1,349 @@
+#include "flow/max_flow.hpp"
+
+#include <algorithm>
+
+#include "check/check.hpp"
+
+namespace pathsep::flow {
+
+namespace {
+
+constexpr std::uint32_t kInNode = 0;  // 2*i + kInNode
+constexpr std::uint32_t kOutNode = 1;
+
+inline std::uint32_t in_node(std::uint32_t i) { return 2 * i + kInNode; }
+inline std::uint32_t out_node(std::uint32_t i) { return 2 * i + kOutNode; }
+
+}  // namespace
+
+FlowArena& thread_arena() {
+  thread_local FlowArena arena;
+  return arena;
+}
+
+UnitFlowNetwork::UnitFlowNetwork(const Graph& g,
+                                 std::span<const Vertex> members,
+                                 const std::vector<bool>& removed,
+                                 FlowArena& arena)
+    : g_(g), members_(members), removed_(removed), arena_(arena) {
+  PATHSEP_ASSERT(removed.empty() || removed.size() == g.num_vertices(),
+                 "mask size mismatch: ", removed.size(), " vs ",
+                 g.num_vertices());
+  const auto m_count = static_cast<std::uint32_t>(members.size());
+  const std::uint32_t n_nodes = 2 * m_count;
+  ++arena_.work_.networks;
+
+  // Global-id -> member-index lookup, epoch-stamped so consecutive networks
+  // never clear it.
+  ++arena_.epoch_;
+  if (arena_.member_index_.size() < g.num_vertices()) {
+    arena_.member_index_.resize(g.num_vertices());
+    arena_.member_stamp_.resize(g.num_vertices(), 0);
+  }
+  for (std::uint32_t i = 0; i < m_count; ++i) {
+    const Vertex v = members[i];
+    PATHSEP_DCHECK(i == 0 || members[i - 1] < v, "members must be ascending");
+    PATHSEP_DCHECK(removed.empty() || !removed[v], "member is removed: ", v);
+    arena_.member_index_[v] = i;
+    arena_.member_stamp_[v] = arena_.epoch_;
+  }
+
+  // CSR over the split graph: per member, the in-node carries the vertex arc
+  // plus one reverse arc per alive edge, the out-node the mirror.
+  auto& first = arena_.node_first_;
+  first.assign(n_nodes + 1, 0);
+  for (std::uint32_t i = 0; i < m_count; ++i) {
+    std::uint32_t deg = 0;
+    for (const graph::Arc& arc : g.neighbors(members[i]))
+      if (member_index(arc.to) != kNotMember) ++deg;
+    first[in_node(i)] = 1 + deg;
+    first[out_node(i)] = 1 + deg;
+  }
+  std::uint32_t total = 0;
+  for (std::uint32_t node = 0; node < n_nodes; ++node) {
+    const std::uint32_t count = first[node];
+    first[node] = total;
+    total += count;
+  }
+  first[n_nodes] = total;
+
+  arena_.arc_to_.resize(total);
+  arena_.arc_cap_.resize(total);
+  arena_.arc_init_.resize(total);
+  arena_.arc_mate_.resize(total);
+  arena_.fill_.assign(first.begin(), first.begin() + n_nodes);
+  arena_.terminal_.assign(m_count, 0);
+
+  auto add_pair = [&](std::uint32_t from, std::uint32_t to,
+                      std::uint32_t cap) {
+    const std::uint32_t fwd = arena_.fill_[from]++;
+    const std::uint32_t rev = arena_.fill_[to]++;
+    arena_.arc_to_[fwd] = to;
+    arena_.arc_cap_[fwd] = cap;
+    arena_.arc_init_[fwd] = cap;
+    arena_.arc_mate_[fwd] = rev;
+    arena_.arc_to_[rev] = from;
+    arena_.arc_cap_[rev] = 0;
+    arena_.arc_init_[rev] = 0;
+    arena_.arc_mate_[rev] = fwd;
+  };
+
+  // Vertex arcs first so the arc of member i is node_first_[in_node(i)].
+  for (std::uint32_t i = 0; i < m_count; ++i)
+    add_pair(in_node(i), out_node(i), 1);
+  for (std::uint32_t i = 0; i < m_count; ++i)
+    for (const graph::Arc& arc : g.neighbors(members[i])) {
+      const std::uint32_t j = member_index(arc.to);
+      if (j == kNotMember) continue;
+      add_pair(out_node(i), in_node(j), kInfCapacity);
+    }
+
+  // Dinic scratch sized to this network (capacity-retaining).
+  if (arena_.level_.size() < n_nodes) {
+    arena_.level_.resize(n_nodes);
+    arena_.level_stamp_.resize(n_nodes, 0);
+    arena_.cur_.resize(n_nodes);
+    arena_.reach_fwd_.resize(n_nodes, 0);
+    arena_.reach_bwd_.resize(n_nodes, 0);
+  }
+  arena_.queue_.reserve(n_nodes);
+  arena_.path_.clear();
+}
+
+std::uint32_t UnitFlowNetwork::member_index(Vertex v) const {
+  if (!removed_.empty() && removed_[v]) return kNotMember;
+  return arena_.member_stamp_[v] == arena_.epoch_ ? arena_.member_index_[v]
+                                                  : kNotMember;
+}
+
+void UnitFlowNetwork::set_terminal(Vertex v, std::uint8_t kind) {
+  const std::uint32_t i = member_index(v);
+  PATHSEP_ASSERT(i != kNotMember, "terminal is not a member: ", v);
+  if (arena_.terminal_[i] == kind) return;
+  PATHSEP_ASSERT(arena_.terminal_[i] == 0,
+                 "vertex already a terminal of the other side: ", v);
+  arena_.terminal_[i] = kind;
+  // Terminals are uncuttable: lift the vertex arc to "infinite". Adding the
+  // same delta to cap and init keeps (init - cap) == flow consistent even if
+  // the arc already carries a unit.
+  const std::uint32_t a = arena_.node_first_[in_node(i)];
+  arena_.arc_cap_[a] += kInfCapacity;
+  arena_.arc_init_[a] += kInfCapacity;
+}
+
+void UnitFlowNetwork::make_source(Vertex v) {
+  set_terminal(v, 1);
+  ++num_sources_;
+}
+
+void UnitFlowNetwork::make_target(Vertex v) {
+  set_terminal(v, 2);
+  ++num_targets_;
+}
+
+bool UnitFlowNetwork::is_source(Vertex v) const {
+  const std::uint32_t i = member_index(v);
+  return i != kNotMember && arena_.terminal_[i] == 1;
+}
+
+bool UnitFlowNetwork::is_target(Vertex v) const {
+  const std::uint32_t i = member_index(v);
+  return i != kNotMember && arena_.terminal_[i] == 2;
+}
+
+bool UnitFlowNetwork::touches_opposite(Vertex v, bool source) const {
+  const std::uint8_t opposite = source ? std::uint8_t{2} : std::uint8_t{1};
+  for (const graph::Arc& arc : g_.neighbors(v)) {
+    const std::uint32_t j = member_index(arc.to);
+    if (j != kNotMember && arena_.terminal_[j] == opposite) return true;
+  }
+  return false;
+}
+
+bool UnitFlowNetwork::bfs_phase() {
+  ++arena_.level_epoch_;
+  auto& queue = arena_.queue_;
+  queue.clear();
+  auto set_level = [&](std::uint32_t node, std::uint32_t level) {
+    arena_.level_[node] = level;
+    arena_.level_stamp_[node] = arena_.level_epoch_;
+  };
+  auto has_level = [&](std::uint32_t node) {
+    return arena_.level_stamp_[node] == arena_.level_epoch_;
+  };
+
+  const auto m_count = static_cast<std::uint32_t>(members_.size());
+  for (std::uint32_t i = 0; i < m_count; ++i)
+    if (arena_.terminal_[i] == 1) {
+      set_level(out_node(i), 0);
+      queue.push_back(out_node(i));
+    }
+
+  bool target_reached = false;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t node = queue[head];
+    // Target in-nodes absorb flow: never expand past them.
+    if ((node & 1u) == kInNode && arena_.terminal_[node / 2] == 2) {
+      target_reached = true;
+      continue;
+    }
+    const std::uint32_t level = arena_.level_[node];
+    for (std::uint32_t a = arena_.node_first_[node];
+         a < arena_.node_first_[node + 1]; ++a) {
+      const std::uint32_t to = arena_.arc_to_[a];
+      if (arena_.arc_cap_[a] == 0 || has_level(to)) continue;
+      set_level(to, level + 1);
+      queue.push_back(to);
+    }
+  }
+  return target_reached;
+}
+
+std::uint32_t UnitFlowNetwork::dfs_augment(std::uint32_t source_node) {
+  auto& path = arena_.path_;
+  path.clear();
+  auto has_level = [&](std::uint32_t node) {
+    return arena_.level_stamp_[node] == arena_.level_epoch_;
+  };
+
+  std::uint32_t node = source_node;
+  for (;;) {
+    if ((node & 1u) == kInNode && arena_.terminal_[node / 2] == 2) {
+      // Reached a target: push the bottleneck along the path.
+      std::uint32_t bottleneck = kInfCapacity;
+      for (const std::uint32_t a : path)
+        bottleneck = std::min(bottleneck, arena_.arc_cap_[a]);
+      if (bottleneck >= kInfCapacity / 2) {
+        uncuttable_ = true;
+        return 0;
+      }
+      std::size_t retreat = path.size();
+      for (std::size_t p = 0; p < path.size(); ++p) {
+        const std::uint32_t a = path[p];
+        arena_.arc_cap_[a] -= bottleneck;
+        arena_.arc_cap_[arena_.arc_mate_[a]] += bottleneck;
+        if (arena_.arc_cap_[a] == 0 && p < retreat) retreat = p;
+      }
+      return bottleneck;
+    }
+
+    bool advanced = false;
+    for (std::uint32_t& a = arena_.cur_[node];
+         a < arena_.node_first_[node + 1]; ++a) {
+      const std::uint32_t to = arena_.arc_to_[a];
+      if (arena_.arc_cap_[a] == 0 || !has_level(to) ||
+          arena_.level_[to] != arena_.level_[node] + 1)
+        continue;
+      path.push_back(a);
+      node = to;
+      advanced = true;
+      break;
+    }
+    if (advanced) continue;
+    if (path.empty()) return 0;  // source exhausted this phase
+    const std::uint32_t dead_arc = path.back();
+    path.pop_back();
+    node = arena_.arc_to_[arena_.arc_mate_[dead_arc]];
+    ++arena_.cur_[node];  // skip the arc that led into the dead end
+  }
+}
+
+AugmentStatus UnitFlowNetwork::augment_to_max(std::size_t flow_limit) {
+  if (uncuttable_) return AugmentStatus::kUncuttable;
+  if (num_sources_ == 0 || num_targets_ == 0) return AugmentStatus::kMaxFlow;
+  const auto m_count = static_cast<std::uint32_t>(members_.size());
+  while (bfs_phase()) {
+    ++arena_.work_.bfs_phases;
+    const std::uint32_t n_nodes = 2 * m_count;
+    for (std::uint32_t node = 0; node < n_nodes; ++node)
+      arena_.cur_[node] = arena_.node_first_[node];
+    for (std::uint32_t i = 0; i < m_count; ++i) {
+      if (arena_.terminal_[i] != 1) continue;
+      while (const std::uint32_t pushed = dfs_augment(out_node(i))) {
+        flow_ += pushed;
+        ++arena_.work_.augmentations;
+        if (flow_ > flow_limit) return AugmentStatus::kLimitExceeded;
+      }
+      if (uncuttable_) return AugmentStatus::kUncuttable;
+    }
+  }
+  return AugmentStatus::kMaxFlow;
+}
+
+UnitFlowNetwork::SideCut UnitFlowNetwork::source_side_cut() {
+  const auto m_count = static_cast<std::uint32_t>(members_.size());
+  ++arena_.reach_fwd_epoch_;
+  auto& queue = arena_.queue_;
+  queue.clear();
+  auto mark = [&](std::uint32_t node) {
+    if (arena_.reach_fwd_[node] == arena_.reach_fwd_epoch_) return false;
+    arena_.reach_fwd_[node] = arena_.reach_fwd_epoch_;
+    queue.push_back(node);
+    return true;
+  };
+  for (std::uint32_t i = 0; i < m_count; ++i)
+    if (arena_.terminal_[i] == 1) mark(out_node(i));
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t node = queue[head];
+    for (std::uint32_t a = arena_.node_first_[node];
+         a < arena_.node_first_[node + 1]; ++a)
+      if (arena_.arc_cap_[a] > 0) mark(arena_.arc_to_[a]);
+  }
+
+  SideCut result;
+  for (std::uint32_t i = 0; i < m_count; ++i) {
+    const bool out_reached =
+        arena_.reach_fwd_[out_node(i)] == arena_.reach_fwd_epoch_;
+    const bool in_reached =
+        arena_.reach_fwd_[in_node(i)] == arena_.reach_fwd_epoch_;
+    if (out_reached) {
+      ++result.side_size;
+      PATHSEP_DCHECK(arena_.terminal_[i] != 2,
+                     "target residual-reachable at max flow");
+    } else if (in_reached) {
+      result.cut.push_back(members_[i]);
+    }
+  }
+  return result;
+}
+
+UnitFlowNetwork::SideCut UnitFlowNetwork::target_side_cut() {
+  const auto m_count = static_cast<std::uint32_t>(members_.size());
+  ++arena_.reach_bwd_epoch_;
+  auto& queue = arena_.queue_;
+  queue.clear();
+  auto mark = [&](std::uint32_t node) {
+    if (arena_.reach_bwd_[node] == arena_.reach_bwd_epoch_) return false;
+    arena_.reach_bwd_[node] = arena_.reach_bwd_epoch_;
+    queue.push_back(node);
+    return true;
+  };
+  for (std::uint32_t i = 0; i < m_count; ++i)
+    if (arena_.terminal_[i] == 2) mark(in_node(i));
+  // Backward residual BFS: u precedes w when the residual arc u -> w exists,
+  // i.e. the mate of w's arc to u has capacity left.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t node = queue[head];
+    for (std::uint32_t a = arena_.node_first_[node];
+         a < arena_.node_first_[node + 1]; ++a)
+      if (arena_.arc_cap_[arena_.arc_mate_[a]] > 0) mark(arena_.arc_to_[a]);
+  }
+
+  SideCut result;
+  for (std::uint32_t i = 0; i < m_count; ++i) {
+    const bool in_reaches =
+        arena_.reach_bwd_[in_node(i)] == arena_.reach_bwd_epoch_;
+    const bool out_reaches =
+        arena_.reach_bwd_[out_node(i)] == arena_.reach_bwd_epoch_;
+    if (in_reaches) {
+      ++result.side_size;
+      PATHSEP_DCHECK(arena_.terminal_[i] != 1,
+                     "source reaches targets at max flow");
+    } else if (out_reaches) {
+      result.cut.push_back(members_[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace pathsep::flow

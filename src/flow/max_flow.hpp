@@ -1,0 +1,183 @@
+// Unit-vertex-capacity max-flow core for balanced separator cutting.
+//
+// The network is the standard vertex-split transform of an (optionally
+// masked) subgraph: every alive vertex v becomes an arc v_in -> v_out of
+// capacity 1 (infinite for terminals, which are uncuttable by definition),
+// and every alive undirected edge {u, v} becomes the two infinite-capacity
+// arcs u_out -> v_in and v_out -> u_in. By Menger duality the max flow from
+// the source terminals to the target terminals equals the minimum vertex cut
+// separating them, and the saturated frontier of the residual graph *is*
+// that cut — source_side_cut() reads it off the forward residual
+// reachability, target_side_cut() off the backward one.
+//
+// Dinic's algorithm runs incrementally: terminals may be added between
+// augment_to_max() calls (the flow-cutter grows its seed bands this way) and
+// the existing flow stays feasible, so each call only pays for the new
+// augmenting paths. All scratch state lives in a FlowArena with epoch-reset
+// semantics borrowed from sssp::DijkstraWorkspace: buffers grow to the
+// largest network seen and are never cleared, so steady-state construction
+// allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pathsep::flow {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Capacity standing in for "infinite" (edge arcs, terminal vertex arcs).
+/// Any augmenting path whose bottleneck reaches this order of magnitude
+/// proves the terminal sets touch — see AugmentStatus::kUncuttable.
+inline constexpr std::uint32_t kInfCapacity = 1u << 30;
+
+/// Reusable scratch space for UnitFlowNetwork. One arena serves any number
+/// of consecutive networks (epoch-stamped lookups, capacity-retaining
+/// buffers); thread_arena() hands every construction worker its own.
+class FlowArena {
+ public:
+  /// Lifetime totals of the Dinic work routed through this arena (mirrors
+  /// DijkstraWorkspace::WorkStats; plain fields — an arena is thread-local).
+  struct WorkStats {
+    std::uint64_t networks = 0;
+    std::uint64_t bfs_phases = 0;
+    std::uint64_t augmentations = 0;
+  };
+  const WorkStats& work() const { return work_; }
+  void reset_work() { work_ = WorkStats{}; }
+
+ private:
+  friend class UnitFlowNetwork;
+
+  // Network storage (rebuilt per network; capacity reused).
+  std::vector<std::uint32_t> node_first_;  ///< CSR arc offsets, 2M+1 entries
+  std::vector<std::uint32_t> arc_to_;
+  std::vector<std::uint32_t> arc_cap_;     ///< residual capacity
+  std::vector<std::uint32_t> arc_init_;    ///< constructed capacity (audit)
+  std::vector<std::uint32_t> arc_mate_;    ///< paired reverse arc
+  std::vector<std::uint32_t> fill_;        ///< per-node build cursor
+  std::vector<std::uint8_t> terminal_;     ///< per member: 0/1 source/2 target
+
+  // Global-vertex -> member-index lookup, valid when stamp matches epoch.
+  std::vector<std::uint32_t> member_index_;
+  std::vector<std::uint64_t> member_stamp_;
+  std::uint64_t epoch_ = 0;
+
+  // Dinic scratch: BFS levels (stamped per phase), current-arc pointers,
+  // queue/stack storage, residual reachability stamps (forward + backward).
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint64_t> level_stamp_;
+  std::uint64_t level_epoch_ = 0;
+  std::vector<std::uint32_t> cur_;
+  std::vector<std::uint32_t> queue_;
+  std::vector<std::uint32_t> path_;  ///< DFS arc stack
+  std::vector<std::uint64_t> reach_fwd_;
+  std::uint64_t reach_fwd_epoch_ = 0;
+  std::vector<std::uint64_t> reach_bwd_;
+  std::uint64_t reach_bwd_epoch_ = 0;
+
+  WorkStats work_;
+};
+
+/// The calling thread's arena (thread_local): concurrent separator finds on
+/// distinct decomposition nodes share nothing.
+FlowArena& thread_arena();
+
+enum class AugmentStatus {
+  kMaxFlow,        ///< no augmenting path remains; cuts are valid min cuts
+  kLimitExceeded,  ///< flow grew past the caller's budget; state abandoned
+  kUncuttable,     ///< infinite-bottleneck path: terminal sets touch
+};
+
+/// Vertex-split unit-capacity flow network over the subgraph of `g` induced
+/// by `members` (minus `removed`). Member indices are positions in the
+/// sorted `members` span; node ids are 2*i (in) and 2*i+1 (out).
+class UnitFlowNetwork {
+ public:
+  /// `members` must be sorted ascending, alive under `removed` (which may be
+  /// empty), and form the vertex set the cut partitions. The spans must stay
+  /// valid for the network's lifetime.
+  UnitFlowNetwork(const Graph& g, std::span<const Vertex> members,
+                  const std::vector<bool>& removed, FlowArena& arena);
+
+  std::size_t num_members() const { return members_.size(); }
+  Vertex member(std::size_t i) const { return members_[i]; }
+  /// Member index of global vertex v, or kNotMember.
+  static constexpr std::uint32_t kNotMember = 0xffffffffu;
+  std::uint32_t member_index(Vertex v) const;
+
+  /// Marks member v (global id) as a source/target terminal: its vertex arc
+  /// becomes infinite. Growing terminal sets keeps the current flow feasible.
+  void make_source(Vertex v);
+  void make_target(Vertex v);
+  bool is_source(Vertex v) const;
+  bool is_target(Vertex v) const;
+  std::size_t num_sources() const { return num_sources_; }
+  std::size_t num_targets() const { return num_targets_; }
+
+  /// True when v (a member) has an alive neighbor in the opposite terminal
+  /// set — making it a terminal of `source` polarity would glue the sides.
+  bool touches_opposite(Vertex v, bool source) const;
+
+  /// Dinic until max flow, the budget is exceeded, or an infinite path is
+  /// found. Incremental: safe to call again after adding terminals. After
+  /// kLimitExceeded or kUncuttable the flow state is no longer meaningful.
+  AugmentStatus augment_to_max(std::size_t flow_limit);
+
+  std::size_t flow_value() const { return flow_; }
+
+  struct SideCut {
+    std::vector<Vertex> cut;    ///< global ids, ascending
+    std::size_t side_size = 0;  ///< vertices strictly on this side (no cut)
+  };
+
+  /// Min cut hugging the source side: saturated vertex arcs on the frontier
+  /// of forward residual reachability. side_size counts the source side.
+  /// Only meaningful right after augment_to_max() returned kMaxFlow.
+  SideCut source_side_cut();
+
+  /// Symmetric cut hugging the target side (backward residual reachability);
+  /// side_size counts the target side.
+  SideCut target_side_cut();
+
+  // --- audit access (check/audit_flow.cpp) ---------------------------------
+  const Graph& graph() const { return g_; }
+  std::span<const Vertex> members() const { return members_; }
+  std::size_t num_nodes() const { return 2 * members_.size(); }
+  std::uint32_t first_arc(std::uint32_t node) const {
+    return arena_.node_first_[node];
+  }
+  std::uint32_t end_arc(std::uint32_t node) const {
+    return arena_.node_first_[node + 1];
+  }
+  std::uint32_t arc_to(std::uint32_t a) const { return arena_.arc_to_[a]; }
+  std::uint32_t arc_cap(std::uint32_t a) const { return arena_.arc_cap_[a]; }
+  std::uint32_t arc_init(std::uint32_t a) const { return arena_.arc_init_[a]; }
+  std::uint32_t arc_mate(std::uint32_t a) const { return arena_.arc_mate_[a]; }
+  bool is_source_index(std::uint32_t i) const {
+    return arena_.terminal_[i] == 1;
+  }
+  bool is_target_index(std::uint32_t i) const {
+    return arena_.terminal_[i] == 2;
+  }
+
+ private:
+  bool bfs_phase();
+  std::uint32_t dfs_augment(std::uint32_t source_node);
+  void set_terminal(Vertex v, std::uint8_t kind);
+
+  const Graph& g_;
+  std::span<const Vertex> members_;
+  const std::vector<bool>& removed_;
+  FlowArena& arena_;
+  std::size_t flow_ = 0;
+  std::size_t num_sources_ = 0;
+  std::size_t num_targets_ = 0;
+  bool uncuttable_ = false;
+};
+
+}  // namespace pathsep::flow

@@ -1,0 +1,38 @@
+#include "flow/registry.hpp"
+
+#include <stdexcept>
+
+#include "separator/finders.hpp"
+
+namespace pathsep::flow {
+
+std::unique_ptr<separator::SeparatorFinder> make_finder(
+    std::string_view name,
+    std::optional<std::vector<graph::Point>> root_positions,
+    const FlowSeparatorOptions& flow_options) {
+  using namespace pathsep::separator;
+  if (name == "auto")
+    return std::make_unique<AutoSeparator>(std::move(root_positions));
+  if (name == "flow")
+    return std::make_unique<FlowSeparator>(std::move(root_positions),
+                                           flow_options);
+  if (name == "greedy-paths") return std::make_unique<GreedyPathSeparator>();
+  if (name == "strong-greedy") return std::make_unique<StrongGreedySeparator>();
+  if (name == "tree-centroid") return std::make_unique<TreeCentroidSeparator>();
+  if (name == "treewidth-bag") return std::make_unique<TreewidthBagSeparator>();
+  if (name == "planar-cycle" || name == "thorup") {
+    if (!root_positions)
+      throw std::invalid_argument(
+          "finder '" + std::string(name) + "' needs vertex positions");
+    return std::make_unique<PlanarCycleSeparator>(std::move(*root_positions));
+  }
+  throw std::invalid_argument("unknown finder '" + std::string(name) +
+                              "' (expected one of: " + finder_names() + ")");
+}
+
+std::string finder_names() {
+  return "auto, flow, greedy-paths, strong-greedy, tree-centroid, "
+         "treewidth-bag, planar-cycle (alias thorup)";
+}
+
+}  // namespace pathsep::flow

@@ -1,0 +1,32 @@
+// Finder-by-name factory shared by separator_tool and the bench harness.
+//
+// Lives in flow/ (the topmost separator layer) so one registry can hand out
+// both the structural finders of separator/finders.hpp and FlowSeparator
+// without a dependency cycle.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/flow_separator.hpp"
+#include "separator/path_separator.hpp"
+
+namespace pathsep::flow {
+
+/// Builds a finder by CLI name: "auto", "flow", "greedy-paths",
+/// "strong-greedy", "tree-centroid", "treewidth-bag", or "planar-cycle"
+/// (alias "thorup"; requires positions). Position-aware finders receive
+/// `root_positions` when given. Throws std::invalid_argument for unknown
+/// names or a position-requiring finder without positions.
+std::unique_ptr<separator::SeparatorFinder> make_finder(
+    std::string_view name,
+    std::optional<std::vector<graph::Point>> root_positions = std::nullopt,
+    const FlowSeparatorOptions& flow_options = {});
+
+/// Comma-separated names make_finder understands (for usage messages).
+std::string finder_names();
+
+}  // namespace pathsep::flow

@@ -19,6 +19,9 @@
 //   embed/      planar rotation systems, triangulation, dual trees
 //   treedec/    tree decompositions, Lemma 1 center bags
 //   separator/  k-path separators (Definition 1) + validation
+//   flow/       max-flow separator backend: unit-capacity Dinic over a
+//               reusable arena, band-growth cutter with Pareto fronts,
+//               inertial orderings, FlowSeparator + finder registry
 //   hierarchy/  the recursive decomposition tree of §4
 //   oracle/     (1+eps) distance oracle & labels (Thm 2), TZ/APSP baselines
 //   routing/    stretch-(1+eps) compact routing
@@ -37,6 +40,11 @@
 #include "doubling/nets.hpp"
 #include "embed/dual.hpp"
 #include "embed/embedding.hpp"
+#include "flow/cutter.hpp"
+#include "flow/flow_separator.hpp"
+#include "flow/inertial.hpp"
+#include "flow/max_flow.hpp"
+#include "flow/registry.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
