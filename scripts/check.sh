@@ -16,8 +16,17 @@
 #   obsoff   PATHSEP_OBS_DISABLED build with -Werror — proves every
 #            instrumentation call site compiles out cleanly — plus
 #            ctest -L obs (the obs suite adapts to the compiled-out mode)
-#   tidy     clang-tidy over src/ via the `tidy` target (no-op with a notice
-#            when clang-tidy is not installed)
+#   tsa      Clang Thread Safety Analysis: clang++ build with -Wthread-safety
+#            -Werror=thread-safety-analysis over the PATHSEP_GUARDED_BY /
+#            PATHSEP_REQUIRES annotations (util/thread_annotations.hpp) —
+#            proves the locking contract on every path at compile time
+#            (skipped with a notice when clang++ is not installed)
+#   lint     builds tools/lint/pathsep_lint and runs it over src/ bench/
+#            examples/ (repo-specific rules: rand-source, unordered-iter,
+#            hot-path-alloc, dcheck-side-effect, naked-mutex); any finding
+#            fails the gate
+#   tidy     clang-tidy over src/, tests/ and examples/ via the `tidy`
+#            target (no-op with a notice when clang-tidy is not installed)
 #
 # Every step uses its own CMake preset/binary dir (see CMakePresets.json),
 # so the matrix never invalidates an incremental developer build other than
@@ -27,7 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 STEPS=("$@")
-[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan obsoff tidy)
+[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan obsoff tsa lint tidy)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -64,6 +73,23 @@ if want obsoff; then
   cmake --preset obs-off
   cmake --build build-obs-off -j "$JOBS"
   ctest --test-dir build-obs-off --output-on-failure -j "$JOBS" -L obs
+fi
+
+if want tsa; then
+  banner "tsa: Clang Thread Safety Analysis (-Wthread-safety as errors)"
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake --preset tsa
+    cmake --build build-tsa -j "$JOBS"
+  else
+    echo "clang++ not found — tsa step skipped (annotations still compile"          "to nothing under GCC; the release step proves that)"
+  fi
+fi
+
+if want lint; then
+  banner "lint: pathsep_lint over src/ bench/ examples/"
+  cmake --preset release
+  cmake --build build --target pathsep_lint -j "$JOBS"
+  build/tools/lint/pathsep_lint src bench examples
 fi
 
 if want tidy; then

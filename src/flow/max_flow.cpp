@@ -1,3 +1,5 @@
+// pathsep-lint: hot-path — augmenting-path search runs per cut candidate;
+// every buffer is FlowArena epoch-reset storage, never fresh heap.
 #include "flow/max_flow.hpp"
 
 #include <algorithm>

@@ -1,9 +1,7 @@
 #include "hierarchy/decomposition_tree.hpp"
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
@@ -15,6 +13,7 @@
 #include "obs/trace.hpp"
 #include "separator/validate.hpp"
 #include "util/parallel.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pathsep::hierarchy {
@@ -133,9 +132,12 @@ DecompositionTree::DecompositionTree(const Graph& g,
   // are completion-ordered and therefore scheduler-dependent; determinism is
   // recovered below by renumbering along (parent, component index) BFS order,
   // which reproduces the serial construction's ids exactly.
-  std::mutex mutex;
-  std::condition_variable work_cv;  // ready item appended, failure, or done
-  std::condition_variable done_cv;  // a helper exited
+  // Frame-local scheduler state (PATHSEP_GUARDED_BY only applies to members
+  // and globals): mutex guards built, ready, unfinished, helpers_live,
+  // failed, and error below.
+  util::Mutex mutex;
+  util::CondVar work_cv;  // ready item appended, failure, or done
+  util::CondVar done_cv;  // a helper exited
   std::vector<std::unique_ptr<BuildNode>> built;
   std::deque<std::size_t> ready;
   std::size_t unfinished = 1;  // nodes created but not fully processed
@@ -153,7 +155,7 @@ DecompositionTree::DecompositionTree(const Graph& g,
   }
 
   auto worker = [&] {
-    std::unique_lock<std::mutex> lock(mutex);
+    util::UniqueLock lock(mutex);
     for (;;) {
       work_cv.wait(lock,
                    [&] { return failed || unfinished == 0 || !ready.empty(); });
@@ -206,7 +208,7 @@ DecompositionTree::DecompositionTree(const Graph& g,
       pool.submit([& PATHSEP_OBS_ONLY(, build_span)] {
         PATHSEP_OBS_ONLY(obs::SpanParentGuard trace_parent(build_span);)
         worker();
-        std::lock_guard<std::mutex> lock(mutex);
+        util::LockGuard lock(mutex);
         if (--helpers_live == 0) done_cv.notify_all();
       });
   }
@@ -214,7 +216,7 @@ DecompositionTree::DecompositionTree(const Graph& g,
   {
     // Helpers reference this frame's state; they must exit before we leave —
     // on the failure path too.
-    std::unique_lock<std::mutex> lock(mutex);
+    util::UniqueLock lock(mutex);
     done_cv.wait(lock, [&] { return helpers_live == 0; });
   }
   if (error) std::rethrow_exception(error);

@@ -90,7 +90,7 @@ void render_labels(std::ostringstream& out, const Labels& labels) {
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const Labels& labels) {
   const Labels canon = canonical(labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& slot = counters_[slot_key(name, canon)];
   if (!slot.metric) {
     slot.name = name;
@@ -102,7 +102,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
   const Labels canon = canonical(labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& slot = gauges_[slot_key(name, canon)];
   if (!slot.metric) {
     slot.name = name;
@@ -115,7 +115,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
                                              const Labels& labels) {
   const Labels canon = canonical(labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& slot = histograms_[slot_key(name, canon)];
   if (!slot.metric) {
     slot.name = name;
@@ -126,7 +126,7 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::string MetricsRegistry::report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::ostringstream out;
   for (const auto& [key, slot] : counters_) {
     out << slot.name;
@@ -151,7 +151,7 @@ std::string MetricsRegistry::report() const {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   MetricsSnapshot out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [key, slot] : counters_) {

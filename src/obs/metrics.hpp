@@ -21,11 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace pathsep::obs {
@@ -138,16 +138,19 @@ using MetricsSnapshot = std::vector<MetricSample>;
 /// output; `snapshot()` feeds the JSON/Prometheus exporters.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name, const Labels& labels = {});
-  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Counter& counter(const std::string& name, const Labels& labels = {})
+      PATHSEP_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, const Labels& labels = {})
+      PATHSEP_EXCLUDES(mutex_);
   LatencyHistogram& histogram(const std::string& name,
-                              const Labels& labels = {});
+                              const Labels& labels = {})
+      PATHSEP_EXCLUDES(mutex_);
 
   /// Multi-line "name value" / "name{count=...,p50=...}" text block.
-  std::string report() const;
+  std::string report() const PATHSEP_EXCLUDES(mutex_);
 
   /// Samples every metric, sorted by (name, labels).
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const PATHSEP_EXCLUDES(mutex_);
 
  private:
   template <typename M>
@@ -159,10 +162,10 @@ class MetricsRegistry {
   template <typename M>
   using SlotMap = std::map<std::string, Slot<M>>;  ///< keyed by name + labels
 
-  mutable std::mutex mutex_;  ///< protects the maps, not the metric values
-  SlotMap<Counter> counters_;
-  SlotMap<Gauge> gauges_;
-  SlotMap<LatencyHistogram> histograms_;
+  mutable util::Mutex mutex_;  ///< protects the maps, not the metric values
+  SlotMap<Counter> counters_ PATHSEP_GUARDED_BY(mutex_);
+  SlotMap<Gauge> gauges_ PATHSEP_GUARDED_BY(mutex_);
+  SlotMap<LatencyHistogram> histograms_ PATHSEP_GUARDED_BY(mutex_);
 };
 
 /// Process-wide registry the construction pipeline records into. Never

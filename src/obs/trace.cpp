@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
+
+#include "util/thread_annotations.hpp"
 
 namespace pathsep::obs {
 
@@ -36,23 +37,29 @@ class ThreadBuffer;
 /// Global collection point. Intentionally leaked: worker threads of
 /// process-lifetime pools flush their buffers here during static
 /// destruction, so the sink must never be destroyed first.
+/// Lock order: Sink::mutex_ strictly before any ThreadBuffer::mutex_
+/// (drain and detach take both in that order; append takes only its own).
 class Sink {
  public:
-  void attach(ThreadBuffer* buffer) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void attach(ThreadBuffer* buffer) PATHSEP_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     buffers_.push_back(buffer);
   }
-  void detach(ThreadBuffer* buffer, std::vector<SpanRecord>&& records);
-  std::vector<SpanRecord> drain();
+  /// Unregisters an exiting thread's buffer and flushes its records into
+  /// flushed_ — under BOTH locks, so a concurrent drain() either steals the
+  /// records first (still attached) or finds them in flushed_, never races
+  /// the exiting thread's own flush.
+  void detach(ThreadBuffer* buffer) PATHSEP_EXCLUDES(mutex_);
+  std::vector<SpanRecord> drain() PATHSEP_EXCLUDES(mutex_);
   void count_drop() { dropped_.fetch_add(1, std::memory_order_relaxed); }
   std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
 
  private:
-  std::mutex mutex_;
-  std::vector<ThreadBuffer*> buffers_;      ///< live threads
-  std::vector<SpanRecord> flushed_;         ///< from exited threads
+  util::Mutex mutex_;
+  std::vector<ThreadBuffer*> buffers_ PATHSEP_GUARDED_BY(mutex_);  ///< live
+  std::vector<SpanRecord> flushed_ PATHSEP_GUARDED_BY(mutex_);  ///< exited
   std::atomic<std::uint64_t> dropped_{0};
 };
 
@@ -67,13 +74,19 @@ Sink& sink() {
 class ThreadBuffer {
  public:
   ThreadBuffer() : ordinal_(next_ordinal().fetch_add(1)) {
-    records_.reserve(kSpanBufferCapacity);
+    {
+      util::LockGuard lock(mutex_);
+      records_.reserve(kSpanBufferCapacity);
+    }
     sink().attach(this);
   }
-  ~ThreadBuffer() { sink().detach(this, std::move(records_)); }
+  // The flush must go through Sink::detach (sink lock first, then ours):
+  // moving records_ out here directly, without mutex_, raced a concurrent
+  // drain() that was still entitled to steal_into this buffer.
+  ~ThreadBuffer() { sink().detach(this); }
 
-  void append(const SpanRecord& record) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void append(const SpanRecord& record) PATHSEP_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     if (records_.size() >= kSpanBufferCapacity) {
       sink().count_drop();
       return;
@@ -82,8 +95,8 @@ class ThreadBuffer {
   }
 
   /// Copies records out and clears in place, preserving capacity.
-  void steal_into(std::vector<SpanRecord>& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void steal_into(std::vector<SpanRecord>& out) PATHSEP_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     out.insert(out.end(), records_.begin(), records_.end());
     records_.clear();
   }
@@ -96,20 +109,20 @@ class ThreadBuffer {
     return counter;
   }
 
-  std::mutex mutex_;
-  std::vector<SpanRecord> records_;
+  util::Mutex mutex_;
+  std::vector<SpanRecord> records_ PATHSEP_GUARDED_BY(mutex_);
   std::uint32_t ordinal_;
 };
 
-void Sink::detach(ThreadBuffer* buffer, std::vector<SpanRecord>&& records) {
-  std::lock_guard<std::mutex> lock(mutex_);
+void Sink::detach(ThreadBuffer* buffer) {
+  util::LockGuard lock(mutex_);
   buffers_.erase(std::remove(buffers_.begin(), buffers_.end(), buffer),
                  buffers_.end());
-  flushed_.insert(flushed_.end(), records.begin(), records.end());
+  buffer->steal_into(flushed_);  // buffer lock nests inside the sink lock
 }
 
 std::vector<SpanRecord> Sink::drain() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<SpanRecord> out = std::move(flushed_);
   flushed_ = {};
   for (ThreadBuffer* buffer : buffers_) buffer->steal_into(out);

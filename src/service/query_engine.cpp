@@ -1,3 +1,5 @@
+// pathsep-lint: hot-path — answer_one sits under every served query; the
+// cache/oracle/metrics it touches are preallocated at engine construction.
 #include "service/query_engine.hpp"
 
 #include <atomic>
@@ -75,9 +77,10 @@ std::vector<graph::Weight> QueryEngine::query_batch(
   }
 
   // Shared completion state lives on this stack frame; the final wait below
-  // guarantees it outlives every chunk task.
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // guarantees it outlives every chunk task. done_mutex guards remaining
+  // (frame-local, so PATHSEP_GUARDED_BY cannot be spelled).
+  util::Mutex done_mutex;
+  util::CondVar done_cv;
   std::size_t remaining = num_chunks;
   PATHSEP_OBS_ONLY(const std::uint64_t batch_span = obs::current_span();)
   for (std::size_t c = 0; c < num_chunks; ++c) {
@@ -89,17 +92,17 @@ std::vector<graph::Weight> QueryEngine::query_batch(
       PATHSEP_OBS_ONLY(obs::SpanParentGuard trace_parent(batch_span);)
       for (std::size_t i = begin; i < end; ++i)
         results[i] = answer_one(*snap, queries[i].u, queries[i].v);
-      std::lock_guard<std::mutex> lock(done_mutex);
+      util::LockGuard lock(done_mutex);
       if (--remaining == 0) done_cv.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
+  util::UniqueLock lock(done_mutex);
   done_cv.wait(lock, [&remaining] { return remaining == 0; });
   return results;
 }
 
 std::shared_ptr<const oracle::PathOracle> QueryEngine::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  util::LockGuard lock(snapshot_mutex_);
   return snapshot_;
 }
 
@@ -107,7 +110,7 @@ void QueryEngine::replace_snapshot(
     std::shared_ptr<const oracle::PathOracle> snapshot) {
   if (!snapshot) throw std::invalid_argument("null oracle snapshot");
   {
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    util::LockGuard lock(snapshot_mutex_);
     snapshot_.swap(snapshot);
     snapshot_vertices_->set(
         static_cast<std::int64_t>(snapshot_->num_vertices()));

@@ -16,10 +16,8 @@
 //                        synchronization per query.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -27,6 +25,7 @@
 #include "service/metrics.hpp"
 #include "service/result_cache.hpp"
 #include "service/thread_pool.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pathsep::service {
 
@@ -62,11 +61,13 @@ class QueryEngine {
   std::vector<graph::Weight> query_batch(std::span<const Query> queries);
 
   /// Current snapshot (never null).
-  std::shared_ptr<const oracle::PathOracle> snapshot() const;
+  std::shared_ptr<const oracle::PathOracle> snapshot() const
+      PATHSEP_EXCLUDES(snapshot_mutex_);
 
   /// Atomically replaces the snapshot and clears the result cache (cached
   /// distances belong to the old oracle). Throws on null.
-  void replace_snapshot(std::shared_ptr<const oracle::PathOracle> snapshot);
+  void replace_snapshot(std::shared_ptr<const oracle::PathOracle> snapshot)
+      PATHSEP_EXCLUDES(snapshot_mutex_);
 
   ResultCache& cache() { return cache_; }
   const ResultCache& cache() const { return cache_; }
@@ -79,8 +80,9 @@ class QueryEngine {
                            graph::Vertex v);
 
   QueryEngineOptions options_;
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<const oracle::PathOracle> snapshot_;
+  mutable util::Mutex snapshot_mutex_;
+  std::shared_ptr<const oracle::PathOracle> snapshot_
+      PATHSEP_GUARDED_BY(snapshot_mutex_);
   ResultCache cache_;
   MetricsRegistry metrics_;
   // Resolved once so the hot path records without registry map lookups.

@@ -26,7 +26,7 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
 
 std::optional<graph::Weight> ResultCache::get(std::uint64_t key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::LockGuard lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
@@ -49,7 +49,7 @@ void ResultCache::put(std::uint64_t key, graph::Weight value) {
   Shard& shard = shard_for(key);
   if (shard.capacity == 0) return;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::LockGuard lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->second = value;
@@ -68,7 +68,7 @@ void ResultCache::put(std::uint64_t key, graph::Weight value) {
 
 void ResultCache::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    util::LockGuard lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
     shard->hits.store(0, std::memory_order_relaxed);
@@ -109,7 +109,7 @@ std::size_t ResultCache::shard_index(std::uint64_t key) const {
 }
 
 void ResultCache::audit_shard(const Shard& shard, std::size_t index) const {
-  // Caller holds shard.mutex (or has exclusive access).
+  // PATHSEP_REQUIRES(shard.mutex) on the declaration: callers hold the lock.
   PATHSEP_ASSERT(shard.index.size() == shard.lru.size(), "cache shard ",
                  index, " index holds ", shard.index.size(),
                  " entries but LRU list holds ", shard.lru.size());
@@ -135,7 +135,7 @@ void ResultCache::audit_shard(const Shard& shard, std::size_t index) const {
 
 void ResultCache::audit() const {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    util::LockGuard lock(shards_[s]->mutex);
     audit_shard(*shards_[s], s);
   }
 }
@@ -143,7 +143,7 @@ void ResultCache::audit() const {
 std::size_t ResultCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    util::LockGuard lock(shard->mutex);
     total += shard->lru.size();
   }
   return total;

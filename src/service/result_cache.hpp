@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <atomic>
 #include <unordered_map>
@@ -20,6 +19,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pathsep::service {
 
@@ -57,14 +57,17 @@ class ResultCache {
 
  private:
   struct Shard {
-    std::mutex mutex;
+    util::Mutex mutex;
     /// front = most recently used; pairs of (key, value).
-    std::list<std::pair<std::uint64_t, graph::Weight>> lru;
+    std::list<std::pair<std::uint64_t, graph::Weight>> lru
+        PATHSEP_GUARDED_BY(mutex);
     std::unordered_map<std::uint64_t,
                        std::list<std::pair<std::uint64_t, graph::Weight>>::iterator>
-        index;
+        index PATHSEP_GUARDED_BY(mutex);
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
+    /// Immutable after construction (set before the cache is shared), so
+    /// put()'s lock-free early-out read is safe.
     std::size_t capacity = 0;
   };
 
@@ -73,7 +76,8 @@ class ResultCache {
 
   Shard& shard_for(std::uint64_t key) { return *shards_[shard_index(key)]; }
 
-  void audit_shard(const Shard& shard, std::size_t index) const;
+  void audit_shard(const Shard& shard, std::size_t index) const
+      PATHSEP_REQUIRES(shard.mutex);
 
   std::size_t capacity_;
   std::uint64_t mask_;

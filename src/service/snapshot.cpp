@@ -1,3 +1,6 @@
+// pathsep-lint: deterministic — snapshot bytes must be identical for every
+// run and thread count (label_digest equality tests depend on it), so
+// nothing here may iterate a hash container into the output.
 #include "service/snapshot.hpp"
 
 #include <cstdio>

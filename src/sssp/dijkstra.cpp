@@ -1,3 +1,6 @@
+// pathsep-lint: hot-path — the settle/relax inner loops run once per
+// vertex/arc of every SSSP; all state lives in the epoch-reset
+// DijkstraWorkspace, so no expression here may touch the heap.
 #include "sssp/dijkstra.hpp"
 
 #include <algorithm>

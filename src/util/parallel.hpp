@@ -8,13 +8,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pathsep::util {
@@ -60,8 +59,10 @@ void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::mutex mutex;
-  std::condition_variable done_cv;
+  // Local state, so PATHSEP_GUARDED_BY cannot apply (the analysis only
+  // tracks members and globals): mutex guards error and live.
+  Mutex mutex;
+  CondVar done_cv;
   std::exception_ptr error;
   std::size_t live = helpers;
 
@@ -74,7 +75,7 @@ void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
+        LockGuard lock(mutex);
         if (!failed.exchange(true)) error = std::current_exception();
         return;
       }
@@ -84,12 +85,12 @@ void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
   for (std::size_t h = 0; h < helpers; ++h)
     pool.submit([&] {
       drain();
-      std::lock_guard<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       if (--live == 0) done_cv.notify_all();
     });
   drain();
 
-  std::unique_lock<std::mutex> lock(mutex);
+  UniqueLock lock(mutex);
   done_cv.wait(lock, [&] { return live == 0; });
   if (error) std::rethrow_exception(error);
 }

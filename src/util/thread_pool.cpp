@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -34,7 +34,7 @@ void ThreadPool::submit(std::function<void()> task) {
   // submitter's stack — reject at the boundary instead.
   PATHSEP_ASSERT(task != nullptr, "ThreadPool::submit called with a null task");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     PATHSEP_ASSERT(!stop_, "ThreadPool::submit called on a stopped pool");
     queue_.push_back(std::move(task));
     PATHSEP_AUDIT(audit_locked());
@@ -43,12 +43,14 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  UniqueLock lock(mutex_);
+  idle_cv_.wait(lock, [this]() PATHSEP_REQUIRES(mutex_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 std::size_t ThreadPool::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return queue_.size();
 }
 
@@ -62,15 +64,17 @@ void ThreadPool::audit_locked() const {
 }
 
 void ThreadPool::audit() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   audit_locked();
 }
 
 void ThreadPool::worker_loop() {
   tl_in_worker = true;
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    work_cv_.wait(lock, [this]() PATHSEP_REQUIRES(mutex_) {
+      return stop_ || !queue_.empty();
+    });
     // Drain remaining tasks even when stopping: submitted work completes.
     if (queue_.empty()) return;  // only reachable when stop_ is set
     std::function<void()> task = std::move(queue_.front());

@@ -12,13 +12,13 @@
 // private pools sized to its serving needs (see service/query_engine.hpp).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace pathsep::util {
 
@@ -39,15 +39,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; wakes one idle worker.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) PATHSEP_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and every worker is idle.
-  void wait_idle();
+  void wait_idle() PATHSEP_EXCLUDES(mutex_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Tasks currently queued (not yet picked up); for tests and metrics.
-  std::size_t queued() const;
+  std::size_t queued() const PATHSEP_EXCLUDES(mutex_);
 
   /// True when the calling thread is a worker of ANY ThreadPool. Parallel
   /// helpers that block on their own sub-tasks (parallel_for, the
@@ -58,18 +58,20 @@ class ThreadPool {
   /// Deep invariant audit: workers exist, active task count is within the
   /// worker count, no queued task is null, and a stopped pool accepts no new
   /// work. Fails via PATHSEP_ASSERT; see check/audit_service.hpp.
-  void audit() const;
+  void audit() const PATHSEP_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
-  void audit_locked() const;  ///< audit() body; caller holds mutex_
+  void worker_loop() PATHSEP_EXCLUDES(mutex_);
+  void audit_locked() const PATHSEP_REQUIRES(mutex_);  ///< audit() body
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< signals workers: task or stop
-  std::condition_variable idle_cv_;   ///< signals wait_idle: all drained
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;  ///< workers currently running a task
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar work_cv_;  ///< signals workers: task or stop
+  CondVar idle_cv_;  ///< signals wait_idle: all drained
+  std::deque<std::function<void()>> queue_ PATHSEP_GUARDED_BY(mutex_);
+  std::size_t active_ PATHSEP_GUARDED_BY(mutex_) = 0;  ///< running a task
+  bool stop_ PATHSEP_GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor, joined only by the destructor; sized
+  /// reads (num_threads) are safe without mutex_ after construction.
   std::vector<std::thread> workers_;
 };
 

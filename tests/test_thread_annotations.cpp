@@ -1,0 +1,95 @@
+// util/thread_annotations.hpp: the annotated Mutex/LockGuard/UniqueLock/
+// CondVar wrappers must behave exactly like the std primitives they wrap —
+// on GCC every annotation macro in this TU has already expanded to nothing,
+// so a green -Werror compile of this file is itself part of the proof that
+// the annotations are portable. The `parallel` label puts the wrappers under
+// the TSan leg of scripts/check.sh.
+#include "util/thread_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pathsep::util {
+namespace {
+
+TEST(ThreadAnnotations, MacrosExpandToNothingOrAttributes) {
+  // Usable in expression-free declaration positions on every compiler.
+  struct Annotated {
+    Mutex m;
+    int guarded PATHSEP_GUARDED_BY(m) = 0;
+    int* pointee PATHSEP_PT_GUARDED_BY(m) = nullptr;
+  };
+  Annotated a;
+  LockGuard lock(a.m);
+  a.guarded = 1;
+  EXPECT_EQ(a.guarded, 1);
+}
+
+TEST(ThreadAnnotations, MutexExcludesConcurrentCriticalSections) {
+  Mutex mutex;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2500; ++i) {
+        LockGuard lock(mutex);
+        ++counter;
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, 10000);
+}
+
+TEST(ThreadAnnotations, TryLockReportsContention) {
+  Mutex mutex;
+  ASSERT_TRUE(mutex.try_lock());
+  // Same thread, second try_lock: must fail (std::mutex is non-recursive);
+  // probe from another thread to keep the behavior defined.
+  bool second = true;
+  std::thread probe([&] { second = mutex.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(second);
+  mutex.unlock();
+}
+
+TEST(ThreadAnnotations, UniqueLockRelocksLikeStdUniqueLock) {
+  Mutex mutex;
+  UniqueLock lock(mutex);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  // While dropped, another thread can take the mutex.
+  bool taken = false;
+  std::thread other([&] {
+    LockGuard inner(mutex);
+    taken = true;
+  });
+  other.join();
+  EXPECT_TRUE(taken);
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(ThreadAnnotations, CondVarWaitWakesOnPredicate) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    LockGuard lock(mutex);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lock(mutex);
+    cv.wait(lock, [&]() PATHSEP_REQUIRES(mutex) { return ready; });
+    EXPECT_TRUE(ready);
+    EXPECT_TRUE(lock.owns_lock());  // wait() returns with the lock held
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace pathsep::util

@@ -1,0 +1,446 @@
+// pathsep_lint — the repo-specific static rules no off-the-shelf checker
+// knows about. Token-level scan (comments and string literals are lexed and
+// skipped, so a mention in prose never trips a rule) over src/ bench/
+// examples/, run as the `lint` step of scripts/check.sh and as CTest label
+// `lint` (tests/test_lint.cpp drives it over seeded-violation fixtures).
+//
+// Rules (ids as printed in diagnostics):
+//
+//   rand-source         rand()/srand()/std::random_device/wall-clock seeding
+//                       outside util/rng. All randomness flows through
+//                       util::Rng so every run is reproducible from a seed.
+//   unordered-iter      unordered containers in serialization/digest paths
+//                       (file named *serialize*/*digest*, or tagged
+//                       `deterministic`). Hash iteration order would leak
+//                       into bytes that must be identical across runs,
+//                       platforms, and thread counts.
+//   hot-path-alloc      explicit heap allocation (new/malloc/make_unique/…)
+//                       in files tagged `hot-path`. Query serving and the
+//                       Dijkstra/flow inner loops are zero-allocation by
+//                       contract (epoch-reset workspaces/arenas).
+//   dcheck-side-effect  ++/--/assignment inside PATHSEP_DCHECK/PATHSEP_AUDIT
+//                       arguments. Those macros compile out (NDEBUG /
+//                       audits off), so a side effect there changes behavior
+//                       between build modes.
+//   naked-mutex         std::mutex / std::lock_guard / std::unique_lock /
+//                       std::condition_variable etc. outside
+//                       util/thread_annotations.hpp. Locking goes through
+//                       util::Mutex/LockGuard/UniqueLock/CondVar so Clang
+//                       Thread Safety Analysis sees every acquisition.
+//   bad-directive       a `pathsep-lint:` comment the tool cannot parse
+//                       (typo'd rule names must not silently disable a rule).
+//
+// In-source controls (comments):
+//   // pathsep-lint: hot-path            tag the file for hot-path-alloc
+//   // pathsep-lint: deterministic       tag the file for unordered-iter
+//   // pathsep-lint: allow(rule[, ...])  suppress on this and the next line
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Token {
+  enum class Kind { kIdent, kPunct };
+  Kind kind;
+  std::string text;
+  std::size_t line;
+};
+
+struct FileScan {
+  std::vector<Token> tokens;
+  std::set<std::string> tags;  ///< file-level: "hot-path", "deterministic"
+  /// line -> rules suppressed on that line and the next.
+  std::map<std::size_t, std::set<std::string>> allows;
+  std::vector<std::pair<std::size_t, std::string>> bad_directives;
+};
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+const std::set<std::string> kKnownRules = {
+    "rand-source",   "unordered-iter",     "hot-path-alloc",
+    "dcheck-side-effect", "naked-mutex",   "bad-directive"};
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Parses one comment's text for a `pathsep-lint:` directive.
+void parse_directive(std::string_view comment, std::size_t line,
+                     FileScan& scan) {
+  const std::size_t at = comment.find("pathsep-lint:");
+  if (at == std::string_view::npos) return;
+  std::string rest = trim(comment.substr(at + std::string("pathsep-lint:").size()));
+  if (rest.rfind("allow(", 0) == 0) {
+    const std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      scan.bad_directives.emplace_back(line, "unterminated allow(...)");
+      return;
+    }
+    std::stringstream list(rest.substr(6, close - 6));
+    std::string rule;
+    bool any = false, bad = false;
+    while (std::getline(list, rule, ',')) {
+      rule = trim(rule);
+      if (rule.empty() || kKnownRules.count(rule) == 0) {
+        scan.bad_directives.emplace_back(line, "unknown rule '" + rule + "'");
+        bad = true;
+        continue;
+      }
+      scan.allows[line].insert(rule);
+      any = true;
+    }
+    if (!any && !bad)
+      scan.bad_directives.emplace_back(line, "empty allow(...)");
+    return;
+  }
+  // Tags may carry trailing prose ("hot-path — zero allocation ...").
+  std::string tag = rest.substr(0, rest.find_first_of(" \t"));
+  if (tag == "hot-path" || tag == "deterministic") {
+    scan.tags.insert(tag);
+    return;
+  }
+  scan.bad_directives.emplace_back(line, "unknown directive '" + tag + "'");
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest-match-first, so `<=` is never read
+/// as `<` then `=` and `==` never contributes a spurious assignment.
+const char* kPuncts[] = {"<<=", ">>=", "...", "->*", "::", "->", "++", "--",
+                         "<<",  ">>",  "<=",  ">=",  "==", "!=", "&&", "||",
+                         "+=",  "-=",  "*=",  "/=",  "%=", "&=", "|=", "^="};
+
+FileScan lex_file(const std::string& content) {
+  FileScan scan;
+  std::size_t i = 0, line = 1;
+  const std::size_t n = content.size();
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? content[i + off] : '\0';
+  };
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '/' && peek(1) == '/') {
+      const std::size_t end = content.find('\n', i);
+      const std::size_t stop = end == std::string::npos ? n : end;
+      parse_directive(std::string_view(content).substr(i, stop - i), line,
+                      scan);
+      i = stop;
+    } else if (c == '/' && peek(1) == '*') {
+      const std::size_t end = content.find("*/", i + 2);
+      const std::size_t stop = end == std::string::npos ? n : end + 2;
+      const std::string_view body =
+          std::string_view(content).substr(i, stop - i);
+      parse_directive(body, line, scan);
+      line += static_cast<std::size_t>(
+          std::count(body.begin(), body.end(), '\n'));
+      i = stop;
+    } else if (c == 'R' && peek(1) == '"') {
+      // Raw string literal: R"delim( ... )delim"
+      std::size_t d = i + 2;
+      while (d < n && content[d] != '(') ++d;
+      const std::string delim = ")" + content.substr(i + 2, d - (i + 2)) + "\"";
+      const std::size_t end = content.find(delim, d);
+      const std::size_t stop = end == std::string::npos ? n : end + delim.size();
+      line += static_cast<std::size_t>(
+          std::count(content.begin() + static_cast<std::ptrdiff_t>(i),
+                     content.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+      i = stop;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\') ++i;
+        if (i < n && content[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;  // closing quote
+    } else if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(content[j])) ++j;
+      scan.tokens.push_back(
+          {Token::Kind::kIdent, content.substr(i, j - i), line});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;  // pp-number; close enough for these rules
+      while (j < n && (ident_char(content[j]) || content[j] == '.' ||
+                       content[j] == '\''))
+        ++j;
+      i = j;
+    } else {
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const std::size_t len = std::string_view(p).size();
+        if (content.compare(i, len, p) == 0) {
+          scan.tokens.push_back({Token::Kind::kPunct, p, line});
+          i += len;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        scan.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+        ++i;
+      }
+    }
+  }
+  return scan;
+}
+
+bool suppressed(const FileScan& scan, const std::string& rule,
+                std::size_t line) {
+  for (const std::size_t at : {line, line == 0 ? 0 : line - 1}) {
+    const auto it = scan.allows.find(at);
+    if (it != scan.allows.end() && it->second.count(rule)) return true;
+  }
+  return false;
+}
+
+void add_finding(std::vector<Finding>& out, const FileScan& scan,
+                 const std::string& file, std::size_t line,
+                 const std::string& rule, std::string message) {
+  if (suppressed(scan, rule, line)) return;
+  out.push_back({file, line, rule, std::move(message)});
+}
+
+std::string filename_of(const std::string& path) {
+  return fs::path(path).filename().string();
+}
+
+bool path_contains(const std::string& path, std::string_view needle) {
+  return fs::path(path).generic_string().find(needle) != std::string::npos;
+}
+
+void run_rules(const std::string& file, const FileScan& scan,
+               std::vector<Finding>& out) {
+  for (const auto& [line, what] : scan.bad_directives)
+    out.push_back({file, line, "bad-directive", what});
+
+  const std::string name = filename_of(file);
+  const bool rng_exempt = path_contains(file, "util/rng");
+  const bool annotations_header =
+      path_contains(file, "util/thread_annotations.hpp");
+  const bool deterministic_scope =
+      scan.tags.count("deterministic") != 0 ||
+      name.find("serialize") != std::string::npos ||
+      name.find("digest") != std::string::npos;
+  const bool hot_path = scan.tags.count("hot-path") != 0;
+
+  static const std::set<std::string> kRandIdents = {
+      "rand", "srand", "rand_r", "drand48", "random_device", "system_clock"};
+  static const std::set<std::string> kUnorderedIdents = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  static const std::set<std::string> kAllocIdents = {
+      "malloc", "calloc", "realloc", "strdup", "make_unique", "make_shared"};
+  static const std::set<std::string> kMutexIdents = {
+      "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+      "shared_mutex", "shared_timed_mutex", "lock_guard", "unique_lock",
+      "scoped_lock", "shared_lock", "condition_variable",
+      "condition_variable_any"};
+  static const std::set<std::string> kAssignPuncts = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+
+  const std::vector<Token>& toks = scan.tokens;
+  // dcheck-side-effect bookkeeping: >0 while inside the argument list of a
+  // PATHSEP_DCHECK/PATHSEP_AUDIT invocation, tracking paren depth.
+  int check_depth = 0;
+
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Token& tok = toks[t];
+    const bool is_ident = tok.kind == Token::Kind::kIdent;
+    auto prev = [&](std::size_t back) -> const Token* {
+      return t >= back ? &toks[t - back] : nullptr;
+    };
+
+    if (check_depth > 0) {
+      if (tok.text == "(") {
+        ++check_depth;
+      } else if (tok.text == ")") {
+        if (--check_depth == 1) check_depth = 0;
+      } else if (tok.text == "++" || tok.text == "--" ||
+                 (kAssignPuncts.count(tok.text) &&
+                  !(prev(1) && prev(1)->text == "["))) {
+        add_finding(out, scan, file, tok.line, "dcheck-side-effect",
+                    "'" + tok.text +
+                        "' inside PATHSEP_DCHECK/PATHSEP_AUDIT — the "
+                        "expression is compiled out under NDEBUG/audits-off, "
+                        "so this side effect differs between build modes");
+      }
+    }
+    if (is_ident &&
+        (tok.text == "PATHSEP_DCHECK" || tok.text == "PATHSEP_AUDIT") &&
+        t + 1 < toks.size() && toks[t + 1].text == "(") {
+      check_depth = 1;  // the '(' token will bump it to 2
+    }
+
+    if (is_ident && !rng_exempt && kRandIdents.count(tok.text)) {
+      add_finding(out, scan, file, tok.line, "rand-source",
+                  "'" + tok.text +
+                      "' outside util/rng — all randomness must flow through "
+                      "util::Rng so runs are reproducible from a seed");
+    }
+
+    if (is_ident && deterministic_scope && kUnorderedIdents.count(tok.text)) {
+      add_finding(out, scan, file, tok.line, "unordered-iter",
+                  "'" + tok.text +
+                      "' in a serialization/digest path — hash iteration "
+                      "order is not deterministic across runs; use a sorted "
+                      "container or sort before emitting bytes");
+    }
+
+    if (hot_path) {
+      const Token* p1 = prev(1);
+      const bool operator_decl = p1 && p1->text == "operator";
+      const bool deleted_fn = p1 && p1->text == "=";
+      if (is_ident && tok.text == "new" && !operator_decl) {
+        add_finding(out, scan, file, tok.line, "hot-path-alloc",
+                    "'new' in a hot-path file — serving and inner loops are "
+                    "zero-allocation by contract; use the workspace/arena");
+      } else if (is_ident && tok.text == "delete" && !operator_decl &&
+                 !deleted_fn) {
+        add_finding(out, scan, file, tok.line, "hot-path-alloc",
+                    "'delete' in a hot-path file — nothing may be heap-"
+                    "allocated here in the first place");
+      } else if (is_ident && kAllocIdents.count(tok.text)) {
+        add_finding(out, scan, file, tok.line, "hot-path-alloc",
+                    "'" + tok.text +
+                        "' in a hot-path file — serving and inner loops are "
+                        "zero-allocation by contract; use the workspace/arena");
+      }
+    }
+
+    if (is_ident && !annotations_header && kMutexIdents.count(tok.text)) {
+      const Token* p1 = prev(1);
+      const Token* p2 = prev(2);
+      if (p1 && p1->text == "::" && p2 && p2->text == "std") {
+        add_finding(out, scan, file, tok.line, "naked-mutex",
+                    "'std::" + tok.text +
+                        "' outside util/thread_annotations.hpp — use "
+                        "util::Mutex/LockGuard/UniqueLock/CondVar so Clang "
+                        "Thread Safety Analysis sees the acquisition");
+      }
+    }
+  }
+}
+
+bool scannable(const fs::path& p) {
+  static const std::set<std::string> kExts = {".cpp", ".cc", ".cxx", ".hpp",
+                                              ".h", ".hh", ".inl"};
+  return kExts.count(p.extension().string()) != 0;
+}
+
+int list_rules() {
+  std::cout << "rand-source         no rand()/std::random_device/wall-clock "
+               "seeding outside util/rng\n"
+            << "unordered-iter      no unordered containers in "
+               "serialization/digest paths\n"
+            << "hot-path-alloc      no explicit heap allocation in files "
+               "tagged 'pathsep-lint: hot-path'\n"
+            << "dcheck-side-effect  no ++/--/assignment inside "
+               "PATHSEP_DCHECK/PATHSEP_AUDIT\n"
+            << "naked-mutex         no std::mutex family outside "
+               "util/thread_annotations.hpp\n"
+            << "bad-directive       every 'pathsep-lint:' comment must parse\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pathsep_lint [--list-rules] <file-or-dir>...\n";
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "pathsep_lint: unknown option " << arg << "\n";
+      return 2;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: pathsep_lint [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec))
+        if (it->is_regular_file() && scannable(it->path()))
+          files.push_back(it->path().generic_string());
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(fs::path(root).generic_string());
+    } else {
+      std::cerr << "pathsep_lint: cannot read " << root << "\n";
+      return 2;
+    }
+    if (ec) {
+      std::cerr << "pathsep_lint: error walking " << root << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "pathsep_lint: cannot open " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const FileScan scan = lex_file(buf.str());
+    run_rules(file, scan, findings);
+  }
+
+  for (const Finding& f : findings)
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  if (findings.empty()) {
+    std::cout << "pathsep_lint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  std::cout << "pathsep_lint: " << findings.size() << " finding(s) in "
+            << files.size() << " files\n";
+  return 1;
+}

@@ -1,0 +1,28 @@
+// Clean fixture: every rule's trigger appears only in positions the scanner
+// must NOT flag — comments, string literals, suppressed lines, rule-exempt
+// spellings. Zero findings expected.
+// (Never compiled — scanner fixture for tests/test_lint.cpp.)
+// pathsep-lint: hot-path
+#include <string>
+
+// Mentions in comments never count: rand(), std::random_device, new,
+// std::mutex, unordered_map, PATHSEP_DCHECK(++x).
+const char* kProse =
+    "string literals never count: rand() std::mutex new unordered_map";
+
+// Deleted functions and operator declarations are not heap traffic.
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+  void* operator new(unsigned long) = delete;
+};
+
+// A deliberate, reviewed allocation on a cold setup path inside a hot-path
+// file is suppressed inline and documented:
+int* setup_buffer() {
+  return new int[8];  // pathsep-lint: allow(hot-path-alloc) cold setup path
+}
+
+// Identifiers merely *containing* trigger words are fine (token scan):
+int operand_randomized_count = 0;
+void make_shared_prefix_table();

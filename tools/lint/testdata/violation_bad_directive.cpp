@@ -1,0 +1,4 @@
+// Seeded violation for the `bad-directive` rule: exactly one finding.
+// (Never compiled — scanner fixture for tests/test_lint.cpp.)
+// pathsep-lint: allow(not-a-real-rule)
+int typoed_suppression() { return 0; }

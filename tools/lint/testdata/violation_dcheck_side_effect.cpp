@@ -1,0 +1,5 @@
+// Seeded violation for the `dcheck-side-effect` rule: exactly one finding.
+// (Never compiled — scanner fixture for tests/test_lint.cpp.)
+void advance(int& cursor, int limit) {
+  PATHSEP_DCHECK(++cursor < limit, "cursor ran past the end");  // seeded
+}

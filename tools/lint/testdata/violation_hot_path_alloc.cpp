@@ -1,0 +1,6 @@
+// Seeded violation for the `hot-path-alloc` rule: exactly one finding.
+// (Never compiled — scanner fixture for tests/test_lint.cpp.)
+// pathsep-lint: hot-path
+int* allocate_in_inner_loop() {
+  return new int[64];  // the one seeded violation
+}

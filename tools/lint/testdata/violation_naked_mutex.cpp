@@ -1,0 +1,8 @@
+// Seeded violation for the `naked-mutex` rule: exactly one finding.
+// (Never compiled — scanner fixture for tests/test_lint.cpp.)
+#include <mutex>
+
+struct UnprovableState {
+  std::mutex mutex;  // the one seeded violation
+  int value = 0;
+};

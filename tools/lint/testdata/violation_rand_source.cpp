@@ -1,0 +1,8 @@
+// Seeded violation for the `rand-source` rule: exactly one finding.
+// (Never compiled — scanner fixture for tests/test_lint.cpp.)
+#include <random>
+
+int nondeterministic_seed() {
+  std::random_device entropy;  // the one seeded violation
+  return static_cast<int>(entropy());
+}

@@ -1,0 +1,8 @@
+// Seeded violation for the `unordered-iter` rule: the filename contains
+// "serialize", so unordered containers are banned here; exactly one finding.
+// (Never compiled — scanner fixture for tests/test_lint.cpp.)
+#include <cstdint>
+#include <unordered_map>  // the one seeded violation
+#include <vector>
+
+std::vector<std::uint8_t> serialize_counts();
