@@ -2,16 +2,26 @@
 //
 // Measures decomposition-tree build plus label build across thread counts on
 // the two heaviest families (grid, planar triangulation), records wall-clock
-// seconds and speedup over the single-threaded run, and hashes the serialized
-// labels per thread count to demonstrate the determinism guarantee: every
-// thread count must produce the same digest. Results go to stdout as a table
-// and to --out (default BENCH_build.json) as JSON for the repo record.
+// seconds — with the label build split into its connection-computation and
+// label-assembly stages so regressions are attributable — and hashes the
+// serialized labels per thread count to demonstrate the determinism
+// guarantee: every thread count must produce the same digest (enforced with
+// --require-equal-digests, which exits non-zero on any mismatch). Results go
+// to stdout as a table and to --out (default BENCH_build.json) as JSON for
+// the repo record.
 //
 // Usage:
 //   bench_build [--out=BENCH_build.json] [--grid-side=320] [--planar-n=60000]
 //               [--threads=1,2,4,8] [--epsilon=0.5]
+//               [--big-grid-side=0] [--big-threads=1,8]
+//               [--require-equal-digests]
+//
+// --big-grid-side adds a large perturbed-grid instance (side 1024 = 1,048,576
+// vertices) measured only at the --big-threads counts, so the million-vertex
+// record does not multiply the whole default thread sweep.
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -20,6 +30,7 @@
 #include "oracle/labels.hpp"
 #include "oracle/serialize.hpp"
 #include "util/args.hpp"
+#include "util/parallel.hpp"
 
 namespace pathsep::bench {
 namespace {
@@ -41,6 +52,8 @@ struct Run {
   std::size_t threads = 0;
   double tree_seconds = 0;
   double label_seconds = 0;
+  double connections_seconds = 0;  ///< projections + portal Dijkstras
+  double assemble_seconds = 0;     ///< per-vertex label assembly
   double speedup = 0;  ///< total vs the threads=1 total of the same family
   std::uint64_t digest = 0;
 };
@@ -58,8 +71,11 @@ Run measure(const Instance& inst, std::size_t threads, double epsilon) {
   run.tree_seconds = timer.elapsed_seconds();
 
   timer.reset();
-  const auto labels = oracle::build_labels(tree, epsilon, threads);
+  oracle::BuildLabelsStats stats;
+  const auto labels = oracle::build_labels(tree, epsilon, threads, &stats);
   run.label_seconds = timer.elapsed_seconds();
+  run.connections_seconds = stats.connections_seconds;
+  run.assemble_seconds = stats.assemble_seconds;
   run.digest = label_digest(labels);
   return run;
 }
@@ -80,34 +96,45 @@ int run_main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("grid-side", 320));
   const std::size_t planar_n =
       static_cast<std::size_t>(args.get_int("planar-n", 60000));
+  const std::size_t big_grid_side =
+      static_cast<std::size_t>(args.get_int("big-grid-side", 0));
   const double epsilon = args.get_double("epsilon", 0.5);
   const std::vector<std::size_t> thread_counts =
       parse_threads(args.get("threads", "1,2,4,8"));
+  const std::vector<std::size_t> big_thread_counts =
+      parse_threads(args.get("big-threads", "1,8"));
+  const bool require_equal_digests = args.get_bool("require-equal-digests");
   for (const std::string& flag : args.unused())
     std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
 
   section("E15", "end-to-end construction: tree + labels vs thread count");
-  std::printf("hardware_concurrency=%u\n",
-              std::thread::hardware_concurrency());
+  std::printf("hardware_concurrency=%u default_threads=%zu\n",
+              std::thread::hardware_concurrency(), util::default_threads());
 
-  std::vector<Instance> instances;
-  instances.push_back(make_grid(grid_side));
-  instances.push_back(make_triangulation(planar_n, 12345));
+  // (instance, thread counts to sweep) — the big grid gets its own, shorter
+  // sweep so the million-vertex record doesn't multiply the default matrix.
+  std::vector<std::pair<Instance, const std::vector<std::size_t>*>> plan;
+  plan.emplace_back(make_grid(grid_side), &thread_counts);
+  plan.emplace_back(make_triangulation(planar_n, 12345), &thread_counts);
+  if (big_grid_side > 0)
+    plan.emplace_back(make_grid(big_grid_side), &big_thread_counts);
 
   util::TableWriter table(
-      {"family", "n", "threads", "tree_s", "labels_s", "total_s", "speedup",
-       "digest"});
+      {"family", "n", "threads", "tree_s", "conn_s", "asm_s", "labels_s",
+       "total_s", "speedup", "digest"});
   std::vector<Run> runs;
-  for (const Instance& inst : instances) {
+  for (const auto& [inst, counts] : plan) {
     double serial_total = 0;
-    for (std::size_t threads : thread_counts) {
+    for (std::size_t threads : *counts) {
       Run run = measure(inst, threads, epsilon);
       const double total = run.tree_seconds + run.label_seconds;
-      if (threads == thread_counts.front()) serial_total = total;
+      if (threads == counts->front()) serial_total = total;
       run.speedup = total > 0 ? serial_total / total : 1.0;
       table.add_row({inst.family, std::to_string(run.n),
                      std::to_string(run.threads),
                      util::strf("%.3f", run.tree_seconds),
+                     util::strf("%.3f", run.connections_seconds),
+                     util::strf("%.3f", run.assemble_seconds),
                      util::strf("%.3f", run.label_seconds),
                      util::strf("%.3f", total), util::strf("%.2f", run.speedup),
                      util::strf("%016llx",
@@ -117,21 +144,47 @@ int run_main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  // Determinism cross-check: within one (family, n) instance every thread
+  // count must hash to the same bytes.
+  bool digests_match = true;
+  std::map<std::pair<std::string, std::size_t>, std::uint64_t> first_digest;
+  for (const Run& r : runs) {
+    const auto key = std::make_pair(r.family, r.n);
+    const auto [it, inserted] = first_digest.emplace(key, r.digest);
+    if (!inserted && it->second != r.digest) {
+      digests_match = false;
+      std::fprintf(stderr,
+                   "digest mismatch: %s n=%zu threads=%zu got %016llx "
+                   "expected %016llx\n",
+                   r.family.c_str(), r.n, r.threads,
+                   static_cast<unsigned long long>(r.digest),
+                   static_cast<unsigned long long>(it->second));
+    }
+  }
+
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"bench_build\",\n  \"epsilon\": " << epsilon
       << ",\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"default_threads\": " << util::default_threads()
       << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& r = runs[i];
     out << "    {\"family\": \"" << r.family << "\", \"n\": " << r.n
         << ", \"threads\": " << r.threads << ", \"tree_seconds\": "
-        << r.tree_seconds << ", \"label_seconds\": " << r.label_seconds
+        << r.tree_seconds << ", \"connections_seconds\": "
+        << r.connections_seconds << ", \"assemble_seconds\": "
+        << r.assemble_seconds << ", \"label_seconds\": " << r.label_seconds
         << ", \"speedup_vs_first\": " << r.speedup << ", \"label_digest\": \""
         << std::hex << r.digest << std::dec << "\"}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (require_equal_digests && !digests_match) {
+    std::fprintf(stderr, "--require-equal-digests: FAILED\n");
+    return 1;
+  }
   return 0;
 }
 

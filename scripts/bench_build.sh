@@ -5,10 +5,30 @@
 #
 #   scripts/bench_build.sh                         # default sizes and threads
 #   scripts/bench_build.sh --grid-side=128 --threads=1,4
+#   scripts/bench_build.sh --big-grid-side=1024    # add the 1M-vertex record
+#
+# --quick runs a small smoke configuration — tiny instances, 1 thread vs the
+# machine's default thread count, digests required identical, results to a
+# temp file so BENCH_build.json is not clobbered — and is what scripts/check.sh
+# uses to gate scheduling regressions that break determinism.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+if [ "${1:-}" = "--quick" ]; then
+  shift
+  OUT=$(mktemp /tmp/bench_build_quick.XXXXXX.json)
+  trap 'rm -f "$OUT"' EXIT
+  MAX_THREADS=$(nproc 2>/dev/null || echo 8)
+  [ "$MAX_THREADS" -lt 2 ] && MAX_THREADS=8  # exercise the pool path anyway
+  cmake --preset release
+  cmake --build build -j "$JOBS" --target bench_build
+  ./build/bench/bench_build --out="$OUT" --grid-side=48 --planar-n=2500 \
+      --threads="1,$MAX_THREADS" --require-equal-digests "$@"
+  echo "bench_build --quick: digests identical across 1 and $MAX_THREADS threads"
+  exit 0
+fi
 
 cmake --preset release
 cmake --build build -j "$JOBS" --target bench_build

@@ -16,6 +16,10 @@
 #   obsoff   PATHSEP_OBS_DISABLED build with -Werror — proves every
 #            instrumentation call site compiles out cleanly — plus
 #            ctest -L obs (the obs suite adapts to the compiled-out mode)
+#   bench    bench_build --quick determinism smoke: tiny instances, 1 thread
+#            vs the machine default, exits non-zero if any thread count
+#            changes the label digest (catches scheduling regressions that
+#            break the byte-identical-labels guarantee)
 #   tsa      Clang Thread Safety Analysis: clang++ build with -Wthread-safety
 #            -Werror=thread-safety-analysis over the PATHSEP_GUARDED_BY /
 #            PATHSEP_REQUIRES annotations (util/thread_annotations.hpp) —
@@ -36,7 +40,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 STEPS=("$@")
-[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan obsoff tsa lint tidy)
+[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan obsoff tsa bench lint tidy)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -83,6 +87,11 @@ if want tsa; then
   else
     echo "clang++ not found — tsa step skipped (annotations still compile"          "to nothing under GCC; the release step proves that)"
   fi
+fi
+
+if want bench; then
+  banner "bench: bench_build --quick determinism smoke (digests across threads)"
+  scripts/bench_build.sh --quick
 fi
 
 if want lint; then

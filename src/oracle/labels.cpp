@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <tuple>
+#include <utility>
 
 #include "check/audit_oracle.hpp"
 #include "check/check.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace pathsep::oracle {
 
@@ -78,50 +79,74 @@ Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
 
 std::vector<DistanceLabel> build_labels(
     const hierarchy::DecompositionTree& tree, double epsilon,
-    std::size_t threads) {
+    std::size_t threads, BuildLabelsStats* stats) {
   PATHSEP_SPAN("oracle.build_labels");
   const std::size_t n = tree.root_graph().num_vertices();
   std::vector<DistanceLabel> labels(n);
   for (Vertex v = 0; v < n; ++v) labels[v].vertex = v;
 
-  // Per-node connection computation is independent — run it in parallel,
-  // then assemble labels serially for a deterministic part order.
+  // Per-node connection computation is independent. Scheduling is
+  // size-aware: nodes are issued largest first with grain 1, so the root —
+  // which holds half of all the work — starts immediately and its inner
+  // portal fan-out (compute_connections runs its stages' Dijkstras on the
+  // same pool) is helped by whichever workers finish the small nodes, via
+  // parallel_for's cooperative nesting. Issue order does not affect results:
+  // every connection lands in a pre-sized slot keyed by (node, path, vertex).
+  std::vector<std::size_t> order(tree.nodes().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto cost = [&](std::size_t id) {
+      const hierarchy::DecompositionNode& node =
+          tree.node(static_cast<int>(id));
+      return node.graph.num_vertices() + node.graph.num_edges();
+    };
+    const std::size_t ca = cost(a), cb = cost(b);
+    return ca > cb || (ca == cb && a < b);
+  });
+
+  util::Timer phase_timer;
   std::vector<NodeConnections> per_node(tree.nodes().size());
   PATHSEP_OBS_ONLY(const std::uint64_t build_span = obs::current_span();)
   util::parallel_for(
-      tree.nodes().size(),
-      [&](std::size_t node_id) {
+      order.size(),
+      [&](std::size_t oi) {
         PATHSEP_OBS_ONLY(obs::SpanParentGuard trace_parent(build_span);)
-        per_node[node_id] =
-            compute_connections(tree.node(static_cast<int>(node_id)), epsilon);
+        const std::size_t node_id = order[oi];
+        per_node[node_id] = compute_connections(
+            tree.node(static_cast<int>(node_id)), epsilon, threads);
+      },
+      threads, /*grain=*/1);
+  if (stats) stats->connections_seconds = phase_timer.elapsed_seconds();
+
+  // Assembly is parallel over vertices: v's parts are exactly the non-empty
+  // connection lists along its chain, visited root-to-leaf — node ids
+  // increase down the chain (BFS numbering) and paths are scanned in index
+  // order, so parts come out sorted by (node, path) with no sort step. Each
+  // (node, path, local) list has a single consumer, so it is moved, not
+  // copied.
+  phase_timer.reset();
+  PATHSEP_STAGE_TIMER("oracle_assemble_labels_ns");
+  util::parallel_for(
+      n,
+      [&](std::size_t vi) {
+        const Vertex v = static_cast<Vertex>(vi);
+        DistanceLabel& label = labels[v];
+        for (const auto& [node_id, local] : tree.chain(v)) {
+          const hierarchy::DecompositionNode& node = tree.node(node_id);
+          NodeConnections& nc = per_node[static_cast<std::size_t>(node_id)];
+          for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
+            auto& conns = nc.connections[pi][local];
+            if (conns.empty()) continue;
+            LabelPart part;
+            part.node = node_id;
+            part.path = static_cast<std::int32_t>(pi);
+            part.connections = std::move(conns);
+            label.parts.push_back(std::move(part));
+          }
+        }
       },
       threads);
-
-  PATHSEP_STAGE_TIMER("oracle_assemble_labels_ns");
-  for (std::size_t node_id = 0; node_id < tree.nodes().size(); ++node_id) {
-    const hierarchy::DecompositionNode& node =
-        tree.node(static_cast<int>(node_id));
-    const NodeConnections& nc = per_node[node_id];
-    for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
-      for (Vertex local = 0; local < node.graph.num_vertices(); ++local) {
-        const auto& conns = nc.connections[pi][local];
-        if (conns.empty()) continue;
-        LabelPart part;
-        part.node = static_cast<std::int32_t>(node_id);
-        part.path = static_cast<std::int32_t>(pi);
-        part.connections = conns;
-        labels[node.root_ids[local]].parts.push_back(std::move(part));
-      }
-    }
-  }
-  // Node ids increase root-to-leaf (BFS construction), so parts are already
-  // appended in (node, path) order per vertex — but path loops interleave
-  // vertices, so sort to be safe.
-  for (DistanceLabel& label : labels)
-    std::sort(label.parts.begin(), label.parts.end(),
-              [](const LabelPart& a, const LabelPart& b) {
-                return std::tie(a.node, a.path) < std::tie(b.node, b.path);
-              });
+  if (stats) stats->assemble_seconds = phase_timer.elapsed_seconds();
   PATHSEP_AUDIT(check::audit_labels(labels));
   return labels;
 }

@@ -44,11 +44,20 @@ struct DistanceLabel {
 Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
                     std::size_t* visited = nullptr);
 
-/// Builds all labels of the graph underlying `tree`. Per-node connection
-/// computation fans out over `threads` workers of the shared pool (0 =
-/// util::default_threads()); the result is identical for every thread count.
+/// Per-phase wall-clock breakdown of one build_labels call, for benchmarks
+/// and regression attribution (bench_build records it per run).
+struct BuildLabelsStats {
+  double connections_seconds = 0;  ///< projections + portal Dijkstras
+  double assemble_seconds = 0;     ///< per-vertex part assembly
+};
+
+/// Builds all labels of the graph underlying `tree`. Work fans out over
+/// `threads` workers of the shared pool (0 = util::default_threads()) at two
+/// levels — nodes largest-first, and the portal Dijkstras inside each node's
+/// stages — and label assembly is parallel over vertices; the result is
+/// byte-identical for every thread count.
 std::vector<DistanceLabel> build_labels(
     const hierarchy::DecompositionTree& tree, double epsilon,
-    std::size_t threads = 0);
+    std::size_t threads = 0, BuildLabelsStats* stats = nullptr);
 
 }  // namespace pathsep::oracle

@@ -1,11 +1,13 @@
+// pathsep-lint: hot-path — request generation runs once per (vertex, path)
+// and the portal fan-out once per distinct portal; scratch lives in reused
+// buffers and per-thread DijkstraWorkspaces, so no expression here may
+// allocate with new/make_unique.
 #include "oracle/portals.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "check/audit_oracle.hpp"
 #include "check/check.hpp"
@@ -13,6 +15,7 @@
 #include "obs/trace.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/workspace.hpp"
+#include "util/parallel.hpp"
 
 namespace pathsep::oracle {
 
@@ -46,17 +49,17 @@ void push_unique(std::vector<std::uint32_t>& out, std::uint32_t idx) {
 
 }  // namespace
 
-std::vector<std::uint32_t> epsilon_ladder(std::span<const Weight> prefix,
-                                          std::uint32_t anchor, Weight d,
-                                          double epsilon) {
-  if (prefix.empty()) return {};
+void epsilon_ladder_into(std::span<const Weight> prefix, std::uint32_t anchor,
+                         Weight d, double epsilon,
+                         std::vector<std::uint32_t>& out) {
+  out.clear();
+  if (prefix.empty()) return;
   assert(anchor < prefix.size());
-  std::vector<std::uint32_t> out{anchor};
+  out.push_back(anchor);
   if (d <= 0) {
     // v lies on the path: along-path distances are exact via the prefix
     // sums, so the vertex itself is the only portal needed.
-    std::sort(out.begin(), out.end());
-    return out;
+    return;
   }
   if (epsilon <= 0) throw std::invalid_argument("epsilon must be positive");
   const Weight right_len = prefix.back() - prefix[anchor];
@@ -74,6 +77,13 @@ std::vector<std::uint32_t> epsilon_ladder(std::span<const Weight> prefix,
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::vector<std::uint32_t> epsilon_ladder(std::span<const Weight> prefix,
+                                          std::uint32_t anchor, Weight d,
+                                          double epsilon) {
+  std::vector<std::uint32_t> out;
+  epsilon_ladder_into(prefix, anchor, d, epsilon, out);
   return out;
 }
 
@@ -106,40 +116,21 @@ namespace {
 
 /// Multi-source Dijkstra from the vertices of one path in the residual graph
 /// (mask = vertices removed by earlier stages), tracking the nearest source
-/// index ("anchor").
+/// index ("anchor"). Runs in the thread's workspace — no per-call O(n)
+/// clears — and exports dense arrays for the compute_projections API.
 PathProjection project_path(const graph::Graph& g,
                             const hierarchy::NodePath& path,
                             const std::vector<bool>& removed) {
   const std::size_t n = g.num_vertices();
+  sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
+  sssp::dijkstra_project(g, path.verts, removed, ws);
   PathProjection out;
-  out.dist.assign(n, graph::kInfiniteWeight);
-  out.anchor.assign(n, 0);
-  struct Entry {
-    Weight d;
-    Vertex v;
-    bool operator>(const Entry& o) const { return d > o.d; }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-  for (std::uint32_t i = 0; i < path.verts.size(); ++i) {
-    const Vertex s = path.verts[i];
-    assert(!removed[s]);
-    out.dist[s] = 0;
-    out.anchor[s] = i;
-    queue.push({0, s});
-  }
-  while (!queue.empty()) {
-    const auto [d, v] = queue.top();
-    queue.pop();
-    if (d > out.dist[v]) continue;
-    for (const graph::Arc& a : g.neighbors(v)) {
-      if (removed[a.to]) continue;
-      const Weight nd = d + a.weight;
-      if (nd < out.dist[a.to]) {
-        out.dist[a.to] = nd;
-        out.anchor[a.to] = out.anchor[v];
-        queue.push({nd, a.to});
-      }
-    }
+  out.dist.resize(n);
+  out.anchor.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const bool reached = ws.reached(v);
+    out.dist[v] = reached ? ws.dist(v) : graph::kInfiniteWeight;
+    out.anchor[v] = reached ? ws.anchor(v) : 0;
   }
   return out;
 }
@@ -166,7 +157,7 @@ std::vector<PathProjection> compute_projections(
 }
 
 NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
-                                    double epsilon) {
+                                    double epsilon, std::size_t threads) {
   PATHSEP_SPAN("oracle.connections");
   PATHSEP_STAGE_TIMER("oracle_connections_ns");
   const std::size_t n = node.graph.num_vertices();
@@ -174,22 +165,37 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
   out.connections.resize(node.paths.size());
   for (auto& lists : out.connections) lists.assign(n, {});
 
+  /// One (requesting vertex, portal) pair. `slot` is the request's fixed
+  /// write position in connections[path][v]: slots follow ladder order
+  /// (ascending portal index, hence non-decreasing prefix), so the finished
+  /// lists are sorted by construction no matter which thread fills which
+  /// slot — this is what keeps label bytes identical at every thread count.
+  struct Request {
+    Vertex portal;       ///< portal graph vertex (group key)
+    Vertex v;            ///< requesting vertex
+    std::uint32_t path;  ///< index into node.paths
+    std::uint32_t idx;   ///< portal's index into that path's verts
+    std::uint32_t slot;  ///< write position in connections[path][v]
+  };
+  std::vector<Request> requests;         // reused across stages
+  std::vector<Request> grouped;          // requests scattered by portal group
+  std::vector<std::size_t> group_begin;  // portal group offsets into grouped
+  std::vector<std::size_t> cursor;       // scatter cursors, reused
+  std::vector<std::uint32_t> ladder;     // reused ladder buffer
+  // Epoch-stamped portal -> group map so grouping costs O(requests) per
+  // stage with no clearing pass and no comparator sort.
+  std::vector<std::uint32_t> group_of(n, 0);
+  std::vector<std::uint32_t> group_stamp(n, 0);
+  std::uint32_t group_epoch = 0;
+
   // Paths are processed stage by stage: all paths of one stage share the
   // same residual graph (vertices of strictly earlier stages removed), so
   // the mask is built once per stage — incrementally — and a portal vertex
-  // requested through several paths of the stage is solved by a single
-  // masked Dijkstra instead of one per (path, portal) pair.
+  // requested by many vertices is solved by a single masked Dijkstra.
   std::vector<bool> removed(n, false);
-  sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
   const std::size_t num_stages = std::max<std::size_t>(node.num_stages, 1);
   for (std::size_t stage = 0; stage < num_stages; ++stage) {
-    struct Request {
-      std::uint32_t path;  ///< index into node.paths
-      std::uint32_t idx;   ///< portal's index into that path's verts
-      Vertex v;            ///< requesting vertex
-    };
-    std::unordered_map<Vertex, std::vector<Request>> requests;
-    std::vector<Vertex> portals;  // distinct, in first-request order
+    requests.clear();
     for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
       const hierarchy::NodePath& path = node.paths[pi];
       if (path.stage != stage) continue;
@@ -198,43 +204,83 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
             obs::default_registry().counter("oracle_path_projections_total");
         projections.inc();
       })
-      const PathProjection proj = project_path(node.graph, path, removed);
+      sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
+      sssp::dijkstra_project(node.graph, path.verts, removed, ws);
       for (Vertex v = 0; v < n; ++v) {
-        if (proj.dist[v] == graph::kInfiniteWeight) continue;
-        const std::vector<std::uint32_t> ladder =
-            epsilon_ladder(path.prefix, proj.anchor[v], proj.dist[v], epsilon);
-        for (std::uint32_t idx : ladder) {
-          auto [it, inserted] = requests.try_emplace(path.verts[idx]);
-          if (inserted) portals.push_back(path.verts[idx]);
-          it->second.push_back(
-              {static_cast<std::uint32_t>(pi), idx, v});
-        }
+        if (!ws.reached(v)) continue;
+        epsilon_ladder_into(path.prefix, ws.anchor(v), ws.dist(v), epsilon,
+                            ladder);
+        out.connections[pi][v].resize(ladder.size());
+        for (std::uint32_t j = 0; j < ladder.size(); ++j)
+          requests.push_back({path.verts[ladder[j]], v,
+                              static_cast<std::uint32_t>(pi), ladder[j], j});
       }
     }
 
-    // One masked Dijkstra per distinct portal vertex per residual graph,
-    // reusing the thread's workspace; results are read out before the next
-    // run recycles it. Portals are solved in vertex-id order so the
-    // connection assembly is deterministic by construction, not by hash
-    // iteration order.
-    std::sort(portals.begin(), portals.end());
+    // Group requests by portal vertex with a two-pass counting scatter —
+    // O(requests), no comparator sort. A portal vertex pins its (path, idx)
+    // — stage paths are vertex-disjoint and ladders are deduplicated — so
+    // each v requests it at most once. Groups come out in first-appearance
+    // order, which is deterministic (generation above is serial), and group
+    // order cannot leak into the output anyway: every connection lands in
+    // its pre-assigned slot.
+    ++group_epoch;
+    group_begin.clear();
+    group_begin.push_back(0);  // counts, offset by one group for the scan
+    for (const Request& r : requests) {
+      if (group_stamp[r.portal] != group_epoch) {
+        group_stamp[r.portal] = group_epoch;
+        group_of[r.portal] =
+            static_cast<std::uint32_t>(group_begin.size() - 1);
+        group_begin.push_back(0);
+      }
+      ++group_begin[group_of[r.portal] + 1];
+    }
+    const std::size_t num_portals = group_begin.size() - 1;
+    for (std::size_t gi = 1; gi <= num_portals; ++gi)
+      group_begin[gi] += group_begin[gi - 1];
+    grouped.resize(requests.size());
+    // Scatter with per-group cursors; group_begin keeps the start offsets.
+    cursor.assign(group_begin.begin(), group_begin.end() - 1);
+    for (const Request& r : requests)
+      grouped[cursor[group_of[r.portal]]++] = r;
     PATHSEP_OBS_ONLY({
       static obs::Counter& dijkstras =
           obs::default_registry().counter("oracle_portal_dijkstras_total");
-      dijkstras.inc(portals.size());
+      dijkstras.inc(num_portals);
     })
-    for (const Vertex portal : portals) {
-      const Vertex sources[] = {portal};
-      sssp::dijkstra_masked(node.graph, sources, removed, ws);
-      for (const Request& req : requests.find(portal)->second) {
-        assert(ws.reached(req.v));
-        // ws.parent(v) is v's predecessor on the portal->v path, i.e. v's
-        // first hop when walking toward the portal.
-        out.connections[req.path][req.v].push_back(
-            Connection{req.idx, ws.parent(req.v), ws.dist(req.v),
-                       node.paths[req.path].prefix[req.idx]});
-      }
-    }
+
+    // One masked Dijkstra per distinct portal, early-terminated once all of
+    // its requesting vertices are settled. The runs are independent
+    // read-only computations writing disjoint pre-sized slots, so they fan
+    // out as chunked tasks on the shared pool, one workspace per thread.
+    // Tiny stages stay serial — pool dispatch would cost more than it buys.
+    const std::size_t stage_threads =
+        (num_portals >= 4 && n >= 2048) ? threads : 1;
+    util::parallel_for(
+        num_portals,
+        [&](std::size_t gi) {
+          sssp::DijkstraWorkspace& tws = sssp::thread_workspace();
+          thread_local std::vector<Vertex> targets;
+          targets.clear();
+          const std::size_t begin = group_begin[gi];
+          const std::size_t end = group_begin[gi + 1];
+          for (std::size_t i = begin; i < end; ++i)
+            targets.push_back(grouped[i].v);
+          const Vertex sources[] = {grouped[begin].portal};
+          sssp::dijkstra_masked_until(node.graph, sources, removed, targets,
+                                      tws);
+          for (std::size_t i = begin; i < end; ++i) {
+            const Request& req = grouped[i];
+            assert(tws.reached(req.v));
+            // tws.parent(v) is v's predecessor on the portal->v path, i.e.
+            // v's first hop when walking toward the portal.
+            out.connections[req.path][req.v][req.slot] =
+                Connection{req.idx, tws.parent(req.v), tws.dist(req.v),
+                           node.paths[req.path].prefix[req.idx]};
+          }
+        },
+        stage_threads);
 
     // This stage's paths join the mask for the next stage's residual graph.
     for (const hierarchy::NodePath& path : node.paths)
@@ -242,16 +288,10 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
         for (Vertex v : path.verts) removed[v] = true;
   }
 
-  // Sort by (prefix, portal index): prefix is the query key, and the index
-  // tie-break keeps equal-prefix portals (zero-weight edges) in a canonical
-  // strictly-increasing-index order.
-  for (auto& lists : out.connections)
-    for (Vertex v = 0; v < n; ++v)
-      std::sort(lists[v].begin(), lists[v].end(),
-                [](const Connection& a, const Connection& b) {
-                  return a.prefix < b.prefix ||
-                         (a.prefix == b.prefix && a.path_index < b.path_index);
-                });
+  // Lists need no final sort: slot order is ladder order, i.e. strictly
+  // increasing portal index and (since prefix sums are monotone) the
+  // (prefix, path_index) order the query sweep expects. The audit validator
+  // checks exactly that monotonicity.
   PATHSEP_AUDIT(check::audit_connections(node, out));
   return out;
 }

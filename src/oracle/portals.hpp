@@ -13,7 +13,8 @@
 // Per (v, Q) this yields O(1/ε · (1 + log Δ)) connections; the exact
 // d_J(v, portal) values are computed by one masked Dijkstra per *distinct*
 // portal vertex (at most |Q| per path), shared across all requesting
-// vertices.
+// vertices, early-terminated once the last requester settles, and fanned
+// out across the shared thread pool (see compute_connections).
 #pragma once
 
 #include <cstdint>
@@ -42,6 +43,13 @@ std::vector<std::uint32_t> epsilon_ladder(std::span<const Weight> prefix,
                                           std::uint32_t anchor, Weight d,
                                           double epsilon);
 
+/// Allocation-free variant for the request-generation hot loop: clears and
+/// refills `out` (same contents as epsilon_ladder) so one buffer serves all
+/// (vertex, path) pairs of a node.
+void epsilon_ladder_into(std::span<const Weight> prefix, std::uint32_t anchor,
+                         Weight d, double epsilon,
+                         std::vector<std::uint32_t>& out);
+
 /// Claim 1 landmark indices: both sides of the anchor, the first vertex at
 /// prefix distance >= (i/2)·d for i in 0..10 and >= 2^i·d for i in
 /// 0..ceil(log2 Δ). For d == 0 this degenerates to {anchor} (Note 1).
@@ -67,7 +75,14 @@ struct NodeConnections {
   std::vector<std::vector<std::vector<Connection>>> connections;
 };
 
+/// Computes all of a node's connection lists. The per-portal masked
+/// Dijkstras inside each stage are independent read-only computations; with
+/// `threads` > 1 they fan out as chunked tasks on the shared pool (one
+/// DijkstraWorkspace per thread), each run early-terminating once all of its
+/// requesting vertices are settled. Results are written into pre-sized
+/// per-(path, vertex) slots in ladder order, so the output — and with it the
+/// serialized label bytes — is identical for every thread count.
 NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
-                                    double epsilon);
+                                    double epsilon, std::size_t threads = 1);
 
 }  // namespace pathsep::oracle

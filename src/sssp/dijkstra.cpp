@@ -25,21 +25,35 @@ bool heap_after(const DijkstraWorkspace::HeapEntry& a,
 
 /// The one Dijkstra loop. Settles into `ws` (lazy-reset arrays, reused heap);
 /// allocation-free once the workspace has grown to the graph size.
+///
+/// kAnchors additionally propagates the nearest-source index through the
+/// shortest-path tree (ws.anchor); with the smaller-id tie-break the anchors
+/// are canonical — independent of workspace history and thread count.
+///
+/// `targets_remaining` > 0 enables early termination: the caller has marked
+/// that many distinct vertices via ws.set_targets(), and the loop stops as
+/// soon as the last of them settles. Settled distances/parents are final in
+/// non-decreasing-distance order, so every target's result is byte-identical
+/// to what an exhaustive run would produce.
+template <bool kAnchors>
 void run(const Graph& g, std::span<const Vertex> sources,
          const std::vector<bool>* removed, Weight radius, Vertex target,
-         DijkstraWorkspace& ws) {
+         std::size_t targets_remaining, DijkstraWorkspace& ws) {
   const std::size_t n = g.num_vertices();
   ws.begin(n);
+  if constexpr (kAnchors) ws.enable_anchors();
   std::vector<DijkstraWorkspace::HeapEntry>& heap = ws.heap();
   // Work counters live in locals (registers) during the loop and are
   // flushed once per run — to the workspace and to process-wide obs
   // counters — so accounting never touches shared state in the hot loop.
   PATHSEP_OBS_ONLY(DijkstraWorkspace::WorkStats batch; batch.runs = 1;)
-  for (Vertex s : sources) {
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    const Vertex s = sources[i];
     assert(s < n);
     assert(!removed || !(*removed)[s]);
     if (ws.dist(s) == 0) continue;
     ws.update(s, 0, graph::kInvalidVertex);
+    if constexpr (kAnchors) ws.set_anchor(s, i);
     heap.push_back({0, s});
     std::push_heap(heap.begin(), heap.end(), heap_after);
     PATHSEP_OBS_ONLY(++batch.heap_pushes;)
@@ -53,11 +67,16 @@ void run(const Graph& g, std::span<const Vertex> sources,
     PATHSEP_OBS_ONLY(++batch.settled;)
     if (d > radius) break;
     if (v == target) break;
+    // v's distance and parent are final here, so once the last target
+    // settles nothing downstream is needed — not even v's own relaxations.
+    if (targets_remaining > 0 && ws.is_target(v) && --targets_remaining == 0)
+      break;
     for (const graph::Arc& a : g.neighbors(v)) {
       if (removed && (*removed)[a.to]) continue;
       const Weight nd = d + a.weight;
       if (nd < ws.dist(a.to)) {
         ws.update(a.to, nd, v);
+        if constexpr (kAnchors) ws.set_anchor(a.to, ws.anchor(v));
         heap.push_back({nd, a.to});
         std::push_heap(heap.begin(), heap.end(), heap_after);
         PATHSEP_OBS_ONLY(++batch.relaxed; ++batch.heap_pushes;)
@@ -92,7 +111,7 @@ ShortestPaths run_dense(const Graph& g, std::span<const Vertex> sources,
                         const std::vector<bool>* removed, Weight radius,
                         Vertex target) {
   DijkstraWorkspace& ws = thread_workspace();
-  run(g, sources, removed, radius, target, ws);
+  run<false>(g, sources, removed, radius, target, 0, ws);
   const std::size_t n = g.num_vertices();
   ShortestPaths sp;
   sp.dist.resize(n);
@@ -131,25 +150,45 @@ ShortestPaths dijkstra_bounded(const Graph& g, Vertex source, Weight radius) {
 
 void dijkstra(const Graph& g, Vertex source, DijkstraWorkspace& ws) {
   const Vertex sources[] = {source};
-  run(g, sources, nullptr, graph::kInfiniteWeight, graph::kInvalidVertex, ws);
+  run<false>(g, sources, nullptr, graph::kInfiniteWeight,
+             graph::kInvalidVertex, 0, ws);
 }
 
 void dijkstra(const Graph& g, std::span<const Vertex> sources,
               DijkstraWorkspace& ws) {
-  run(g, sources, nullptr, graph::kInfiniteWeight, graph::kInvalidVertex, ws);
+  run<false>(g, sources, nullptr, graph::kInfiniteWeight,
+             graph::kInvalidVertex, 0, ws);
 }
 
 void dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
                      const std::vector<bool>& removed, DijkstraWorkspace& ws) {
   assert(removed.empty() || removed.size() == g.num_vertices());
-  run(g, sources, removed.empty() ? nullptr : &removed,
-      graph::kInfiniteWeight, graph::kInvalidVertex, ws);
+  run<false>(g, sources, removed.empty() ? nullptr : &removed,
+             graph::kInfiniteWeight, graph::kInvalidVertex, 0, ws);
+}
+
+void dijkstra_project(const Graph& g, std::span<const Vertex> sources,
+                      const std::vector<bool>& removed,
+                      DijkstraWorkspace& ws) {
+  assert(removed.empty() || removed.size() == g.num_vertices());
+  run<true>(g, sources, removed.empty() ? nullptr : &removed,
+            graph::kInfiniteWeight, graph::kInvalidVertex, 0, ws);
+}
+
+void dijkstra_masked_until(const Graph& g, std::span<const Vertex> sources,
+                           const std::vector<bool>& removed,
+                           std::span<const Vertex> targets,
+                           DijkstraWorkspace& ws) {
+  assert(removed.empty() || removed.size() == g.num_vertices());
+  const std::size_t remaining = ws.set_targets(g.num_vertices(), targets);
+  run<false>(g, sources, removed.empty() ? nullptr : &removed,
+             graph::kInfiniteWeight, graph::kInvalidVertex, remaining, ws);
 }
 
 Weight distance(const Graph& g, Vertex s, Vertex t) {
   const Vertex sources[] = {s};
   DijkstraWorkspace& ws = thread_workspace();
-  run(g, sources, nullptr, graph::kInfiniteWeight, t, ws);
+  run<false>(g, sources, nullptr, graph::kInfiniteWeight, t, 0, ws);
   return ws.dist(t);
 }
 

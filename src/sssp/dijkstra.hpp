@@ -58,6 +58,24 @@ void dijkstra(const Graph& g, std::span<const Vertex> sources,
 void dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
                      const std::vector<bool>& removed, DijkstraWorkspace& ws);
 
+/// Masked multi-source run that additionally records, per reached vertex,
+/// the index (into `sources`) of the source whose shortest-path tree it lies
+/// in — read it back through ws.anchor(v). Anchors inherit the smaller-id
+/// tie-break, so they are canonical at any thread count. Pass an empty mask
+/// for none. This is the projection primitive of the portal machinery.
+void dijkstra_project(const Graph& g, std::span<const Vertex> sources,
+                      const std::vector<bool>& removed, DijkstraWorkspace& ws);
+
+/// Masked run that stops settling as soon as every vertex in `targets` is
+/// final. Settled results are byte-identical to an exhaustive run (Dijkstra
+/// settles in non-decreasing distance order); vertices farther than the
+/// farthest target may remain unreached. An empty target set runs to
+/// exhaustion; unreachable targets degrade to exhausting their component.
+void dijkstra_masked_until(const Graph& g, std::span<const Vertex> sources,
+                           const std::vector<bool>& removed,
+                           std::span<const Vertex> targets,
+                           DijkstraWorkspace& ws);
+
 /// Point-to-point distance with early exit at the target.
 Weight distance(const Graph& g, Vertex s, Vertex t);
 

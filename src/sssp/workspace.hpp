@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -64,6 +65,50 @@ class DijkstraWorkspace {
   /// Vertex count of the current run's graph.
   std::size_t num_vertices() const { return n_; }
 
+  // ---- anchor channel (multi-source projection runs) -----------------------
+  // An anchored run additionally records, per reached vertex, the index of
+  // the source whose shortest-path tree it lies in. Slots share the main
+  // epoch stamp, so they are only meaningful after a run that actually wrote
+  // them (dijkstra_project); other runs leave them stale.
+
+  /// Sizes the anchor array for the current run. Call after begin().
+  void enable_anchors() {
+    if (anchor_.size() < stamp_.size()) anchor_.resize(stamp_.size());
+  }
+
+  void set_anchor(Vertex v, std::uint32_t anchor) { anchor_[v] = anchor; }
+
+  /// Index (into the run's source span) of the nearest source of v; only
+  /// valid when v was reached by an anchor-tracking run.
+  std::uint32_t anchor(Vertex v) const {
+    return stamp_[v] == epoch_ ? anchor_[v] : UINT32_MAX;
+  }
+
+  // ---- target marking (early-terminated runs) ------------------------------
+  // A run given a target set stops settling once every marked vertex is
+  // final; the marks live in their own epoch-stamped array so registering a
+  // target set is O(|targets|), not O(n).
+
+  /// Marks the next run's targets over an n-vertex graph; returns the number
+  /// of distinct targets. Takes n explicitly so marking works on a fresh
+  /// workspace that has not run anything yet (begin() has not sized stamp_).
+  std::size_t set_targets(std::size_t n, std::span<const Vertex> targets) {
+    if (target_stamp_.size() < n) target_stamp_.resize(n, 0);
+    ++target_epoch_;
+    std::size_t distinct = 0;
+    for (Vertex t : targets)
+      if (target_stamp_[t] != target_epoch_) {
+        target_stamp_[t] = target_epoch_;
+        ++distinct;
+      }
+    return distinct;
+  }
+
+  /// True when v is in the most recently registered target set.
+  bool is_target(Vertex v) const {
+    return v < target_stamp_.size() && target_stamp_[v] == target_epoch_;
+  }
+
   /// Reusable binary-heap storage for the Dijkstra runner (cleared by
   /// begin()); not meaningful to other callers.
   struct HeapEntry {
@@ -102,6 +147,9 @@ class DijkstraWorkspace {
   std::vector<HeapEntry> heap_;
   std::size_t n_ = 0;
   WorkStats work_;
+  std::vector<std::uint32_t> anchor_;        ///< nearest-source index channel
+  std::vector<std::uint64_t> target_stamp_;  ///< target iff == target_epoch_
+  std::uint64_t target_epoch_ = 0;           ///< 0 = no target set registered
 };
 
 /// The calling thread's workspace (thread_local): construction workers each

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdlib>
 #include <exception>
@@ -36,26 +37,38 @@ inline std::size_t default_threads() {
 /// Runs fn(0..count-1) across up to `threads` workers (0 = default_threads(),
 /// i.e. hardware concurrency unless PATHSEP_THREADS overrides it). Work is
 /// dispatched in index chunks from the shared pool, with the caller draining
-/// chunks alongside the helpers. Falls back to fully serial execution when
-/// `threads` <= 1 or when called from inside a pool worker (nested
-/// parallelism), so recursive use cannot deadlock. fn must be safe to call
-/// concurrently for distinct indices.
+/// chunks alongside the helpers. fn must be safe to call concurrently for
+/// distinct indices.
+///
+/// `grain` fixes the chunk size; 0 picks ~8 chunks per participant — coarse
+/// enough that the atomic fetch_add is noise, fine enough that an unlucky
+/// slow chunk cannot serialize the tail. Pass grain = 1 when per-index cost
+/// varies wildly (the label build's node loop: one huge root next to
+/// hundreds of leaves) so no small item ever queues behind a big one.
+///
+/// Nesting is cooperative rather than serialized: a parallel_for inside a
+/// pool worker still fans out, and any participant that runs out of chunks
+/// while its helpers are unfinished executes queued pool tasks itself
+/// (ThreadPool::try_run_one) instead of blocking. That keeps every worker
+/// making progress — an inner loop's helpers can never starve behind the
+/// outer loop's — and cannot deadlock: a waiter only blocks (briefly, on a
+/// timed wait) when the queue is empty, i.e. when all of its helpers are
+/// already running on other threads or done.
 template <typename Fn>
-void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
+void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0,
+                  std::size_t grain = 0) {
   if (count == 0) return;
   if (threads == 0) threads = default_threads();
   threads = std::min(threads, count);
-  if (threads <= 1 || ThreadPool::in_worker()) {
+  if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
   ThreadPool& pool = shared_pool();
   const std::size_t helpers = std::min(threads - 1, pool.num_threads());
-  // ~8 chunks per participant: coarse enough that the atomic fetch_add is
-  // noise, fine enough that an unlucky slow chunk cannot serialize the tail.
   const std::size_t chunk =
-      std::max<std::size_t>(1, count / ((helpers + 1) * 8));
+      grain > 0 ? grain : std::max<std::size_t>(1, count / ((helpers + 1) * 8));
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
@@ -90,8 +103,22 @@ void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
     });
   drain();
 
-  UniqueLock lock(mutex);
-  done_cv.wait(lock, [&] { return live == 0; });
+  // Cooperative wait: our helpers may still sit unstarted in the pool queue
+  // (e.g. when this call itself runs on a pool worker), so run queued tasks
+  // until all helpers have signalled. When the queue is momentarily empty the
+  // timed wait yields the CPU but re-polls, because new sub-tasks may be
+  // queued by loops nested inside the tasks we are waiting for.
+  for (;;) {
+    {
+      UniqueLock lock(mutex);
+      if (live == 0) break;
+      if (pool.queued() == 0 &&
+          done_cv.wait_for(lock, std::chrono::milliseconds(1),
+                           [&] { return live == 0; }))
+        break;
+    }
+    pool.try_run_one();
+  }
   if (error) std::rethrow_exception(error);
 }
 

@@ -32,6 +32,7 @@
 // guarded state are annotated this way.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -142,6 +143,16 @@ class CondVar {
   template <typename Predicate>
   void wait(UniqueLock& lock, Predicate pred) {
     cv_.wait(lock.std_lock(), std::move(pred));
+  }
+
+  /// Timed predicate wait, for waiters that interleave blocking with useful
+  /// work (parallel_for's cooperative wait runs queued pool tasks between
+  /// timeouts). Returns the predicate's value on wake.
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred) {
+    return cv_.wait_for(lock.std_lock(), timeout, std::move(pred));
   }
 
  private:

@@ -49,6 +49,32 @@ void ThreadPool::wait_idle() {
   });
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    LockGuard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    ++cooperative_;
+  }
+  // The task observes worker context (in_worker() == true) so its own nested
+  // parallel helpers behave exactly as they would on a pool thread; restore
+  // the caller's state afterwards — the caller may be the main thread.
+  const bool was_worker = tl_in_worker;
+  tl_in_worker = true;
+  task();
+  tl_in_worker = was_worker;
+  {
+    LockGuard lock(mutex_);
+    --active_;
+    --cooperative_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
 std::size_t ThreadPool::queued() const {
   LockGuard lock(mutex_);
   return queue_.size();
@@ -56,8 +82,10 @@ std::size_t ThreadPool::queued() const {
 
 void ThreadPool::audit_locked() const {
   PATHSEP_ASSERT(!workers_.empty(), "thread pool has no workers");
-  PATHSEP_ASSERT(active_ <= workers_.size(), "thread pool claims ", active_,
-                 " active tasks with only ", workers_.size(), " workers");
+  PATHSEP_ASSERT(active_ <= workers_.size() + cooperative_,
+                 "thread pool claims ", active_, " active tasks with only ",
+                 workers_.size(), " workers and ", cooperative_,
+                 " cooperative runners");
   for (std::size_t i = 0; i < queue_.size(); ++i)
     PATHSEP_ASSERT(queue_[i] != nullptr, "thread pool queue slot ", i,
                    " holds a null task");

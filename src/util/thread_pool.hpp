@@ -44,6 +44,15 @@ class ThreadPool {
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle() PATHSEP_EXCLUDES(mutex_);
 
+  /// Pops one queued task and runs it on the calling thread; returns false
+  /// when the queue is empty. This is the cooperative-nesting primitive:
+  /// a parallel helper that has exhausted its own work but must wait for
+  /// sub-tasks still in the queue executes them itself instead of blocking,
+  /// so nested fan-out (a big node's inner portal loop inside the node-level
+  /// loop) can never deadlock the pool. The task runs with in_worker() true,
+  /// exactly as it would on a pool thread.
+  bool try_run_one() PATHSEP_EXCLUDES(mutex_);
+
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Tasks currently queued (not yet picked up); for tests and metrics.
@@ -69,6 +78,9 @@ class ThreadPool {
   CondVar idle_cv_;  ///< signals wait_idle: all drained
   std::deque<std::function<void()>> queue_ PATHSEP_GUARDED_BY(mutex_);
   std::size_t active_ PATHSEP_GUARDED_BY(mutex_) = 0;  ///< running a task
+  /// Non-worker threads currently inside try_run_one (they raise the
+  /// legitimate active-task ceiling above the worker count).
+  std::size_t cooperative_ PATHSEP_GUARDED_BY(mutex_) = 0;
   bool stop_ PATHSEP_GUARDED_BY(mutex_) = false;
   /// Written only by the constructor, joined only by the destructor; sized
   /// reads (num_threads) are safe without mutex_ after construction.

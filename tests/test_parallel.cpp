@@ -18,6 +18,8 @@
 #include "oracle/labels.hpp"
 #include "oracle/serialize.hpp"
 #include "separator/finders.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/workspace.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -127,6 +129,125 @@ TEST(ParallelBuild, TreeStructureMatchesSerialBuild) {
     EXPECT_EQ(serial.chain(v), parallel.chain(v));
 }
 
+TEST(ParallelBuild, GridDigestIdenticalAcrossThreadsForTightEpsilon) {
+  // A second epsilon value exercises different ladder sizes, hence different
+  // request/portal groupings, through the same fixed-slot write paths.
+  const graph::GridGraph gg = graph::grid(16, 16);
+  const separator::GridLineSeparator finder(16, 16);
+  const auto serial = build_serialized(gg.graph, finder, 1, 0.2);
+  EXPECT_EQ(serial, build_serialized(gg.graph, finder, 2, 0.2));
+  EXPECT_EQ(serial, build_serialized(gg.graph, finder, 8, 0.2));
+}
+
+TEST(ParallelBuild, PlanarDigestIdenticalAcrossThreadsForTightEpsilon) {
+  util::Rng rng(71);
+  const auto gg = graph::random_apollonian(400, rng);
+  const separator::PlanarCycleSeparator finder(gg.positions);
+  const auto serial = build_serialized(gg.graph, finder, 1, 0.2);
+  EXPECT_EQ(serial, build_serialized(gg.graph, finder, 2, 0.2));
+  EXPECT_EQ(serial, build_serialized(gg.graph, finder, 8, 0.2));
+}
+
+TEST(ParallelBuild, PlanarDigestIdenticalAtTwoThreads) {
+  // threads=2 is the interesting boundary on a small pool: one helper plus
+  // the cooperative caller.
+  util::Rng rng(71);
+  const auto gg = graph::random_apollonian(400, rng);
+  const separator::PlanarCycleSeparator finder(gg.positions);
+  EXPECT_EQ(build_serialized(gg.graph, finder, 1),
+            build_serialized(gg.graph, finder, 2));
+}
+
+// ---------------------------------------------- early-terminated Dijkstras
+
+/// Property over random masked graphs: a run early-terminated once all of
+/// its targets settle must report, for every target, exactly the distance
+/// and parent the exhaustive run produces (Dijkstra settles in
+/// non-decreasing distance order, so settled values are final).
+TEST(EarlyTermination, MatchesFullRunOnRandomMaskedGraphs) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 40 + rng.next_below(160);
+    const std::size_t m = n + rng.next_below(3 * n);
+    const Graph g = graph::gnm_random(n, m, rng, true);
+    std::vector<bool> removed(n, false);
+    for (Vertex v = 0; v < n; ++v) removed[v] = rng.next_bool(0.2);
+    const Vertex source = static_cast<Vertex>(rng.next_below(n));
+    removed[source] = false;
+    std::vector<Vertex> targets;
+    const int num_targets = static_cast<int>(rng.next_int(1, 12));
+    for (int i = 0; i < num_targets; ++i)
+      targets.push_back(static_cast<Vertex>(rng.next_below(n)));
+    targets.push_back(targets.front());  // duplicates must be harmless
+
+    const Vertex sources[] = {source};
+    sssp::DijkstraWorkspace full, early;
+    sssp::dijkstra_masked(g, sources, removed, full);
+    sssp::dijkstra_masked_until(g, sources, removed, targets, early);
+    for (Vertex t : targets) {
+      if (!full.reached(t)) continue;  // unreachable: early run may skip it
+      EXPECT_EQ(early.dist(t), full.dist(t)) << "trial " << trial;
+      EXPECT_EQ(early.parent(t), full.parent(t)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(EarlyTermination, FreshWorkspaceAndEmptyTargetsWork) {
+  // Regression: set_targets on a workspace that never ran anything used to
+  // size its stamp array from the (empty) main stamp array and crash — the
+  // exact state of a pool thread's workspace on its first portal task.
+  const graph::GridGraph gg = graph::grid(8, 8);
+  const std::vector<bool> removed(64, false);
+  const Vertex sources[] = {0};
+  const Vertex targets[] = {63};
+  sssp::DijkstraWorkspace fresh;
+  sssp::dijkstra_masked_until(gg.graph, sources, removed, targets, fresh);
+  EXPECT_TRUE(fresh.reached(63));
+
+  // An empty target set means "no early termination": the run must settle
+  // every reachable vertex, same as the plain masked entry point.
+  sssp::DijkstraWorkspace exhaustive;
+  sssp::dijkstra_masked_until(gg.graph, sources, removed, {}, exhaustive);
+  for (Vertex v = 0; v < 64; ++v) EXPECT_TRUE(exhaustive.reached(v));
+}
+
+/// dijkstra_project's anchors: every reached vertex reports the source whose
+/// canonical shortest-path tree contains it — its distance equals the
+/// multi-source distance, and anchors are inherited from the parent.
+TEST(EarlyTermination, ProjectionAnchorsAreConsistent) {
+  util::Rng rng(515);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 60 + rng.next_below(100);
+    const Graph g = graph::gnm_random(n, 3 * n, rng, true);
+    std::vector<bool> removed(n, false);
+    for (Vertex v = 0; v < n; ++v) removed[v] = rng.next_bool(0.15);
+    std::vector<Vertex> sources;
+    for (Vertex v = 0; v < n && sources.size() < 5; ++v)
+      if (!removed[v]) sources.push_back(v);
+    ASSERT_FALSE(sources.empty());
+
+    sssp::DijkstraWorkspace ws;
+    sssp::dijkstra_project(g, sources, removed, ws);
+    for (Vertex v = 0; v < n; ++v) {
+      if (!ws.reached(v)) continue;
+      const std::uint32_t a = ws.anchor(v);
+      ASSERT_LT(a, sources.size());
+      const Vertex p = ws.parent(v);
+      if (p == graph::kInvalidVertex) {
+        EXPECT_EQ(sources[a], v);  // a source anchors to itself
+      } else {
+        EXPECT_EQ(ws.anchor(p), a);  // anchors flow down the SPT
+      }
+      // The anchor's own single-source distance realizes the multi-source
+      // distance (no closer source exists by definition of the tree).
+      sssp::DijkstraWorkspace single;
+      const Vertex one[] = {sources[a]};
+      sssp::dijkstra_masked(g, one, removed, single);
+      EXPECT_DOUBLE_EQ(single.dist(v), ws.dist(v));
+    }
+  }
+}
+
 // ------------------------------------------------------------------ audits
 
 TEST(ParallelBuild, ParallelTreePassesDeepAudits) {
@@ -216,6 +337,32 @@ TEST(ParallelFor, NestedCallsDoNotDeadlock) {
             64, [&](std::size_t inner) { hits[outer * 64 + inner]++; }, 4);
       },
       8);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, GrainOneCoversEveryIndexExactlyOnce) {
+  // grain=1 is the label build's node-scheduling mode (one huge root next to
+  // hundreds of leaves): every index is its own chunk.
+  constexpr std::size_t kCount = 3000;
+  std::vector<std::atomic<int>> hits(kCount);
+  util::parallel_for(
+      kCount, [&](std::size_t i) { hits[i].fetch_add(1); }, 8, /*grain=*/1);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, RunsInsidePoolWorkerWithoutDeadlock) {
+  // compute_connections fans out from inside a node task that is itself a
+  // pool task: the cooperative wait must let the outer task execute its own
+  // helpers instead of blocking the only worker.
+  std::vector<std::atomic<int>> hits(512);
+  std::atomic<bool> done{false};
+  util::shared_pool().submit([&] {
+    util::parallel_for(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+    done = true;
+  });
+  util::shared_pool().wait_idle();
+  EXPECT_TRUE(done.load());
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
