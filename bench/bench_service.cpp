@@ -53,11 +53,22 @@ Workload make_workload(const std::string& name, std::size_t distinct_pairs,
   return w;
 }
 
+/// With `lat` null this is the raw loop (the overhead section's baseline);
+/// with a histogram it times every query, so the serial row reports a real
+/// p99 instead of 0.00 — the same per-query timer the engine rows pay.
 double run_serial(const oracle::PathOracle& oracle, const Workload& w,
-                  double* seconds) {
+                  double* seconds, obs::LatencyHistogram* lat = nullptr) {
   util::Timer timer;
   Weight sink = 0;
-  for (const service::Query& q : w.queries) sink += oracle.query(q.u, q.v);
+  if (lat) {
+    for (const service::Query& q : w.queries) {
+      const util::Timer query_timer;
+      sink += oracle.query(q.u, q.v);
+      lat->record(query_timer.elapsed_ns());
+    }
+  } else {
+    for (const service::Query& q : w.queries) sink += oracle.query(q.u, q.v);
+  }
   util::do_not_optimize(sink);
   *seconds = timer.elapsed_seconds();
   return static_cast<double>(w.queries.size()) / *seconds;
@@ -77,12 +88,14 @@ double run_engine(service::QueryEngine& engine, const Workload& w,
 }
 
 /// The serial loop of run_serial plus the obs-layer work the engine adds to
-/// the query hot path: two counter increments per query and one trace span
-/// per batch (exactly answer_one's recording minus its latency timer).
-/// With time_each_query the service's own per-query util::Timer + histogram
-/// record is added too — that cost is clock reads, not obs recording, and
-/// has been part of the serving layer since the engine was introduced, so
-/// the bench reports it as a separate number.
+/// the query hot path: the cost-tracking query (query_stats instead of
+/// query), three counter increments (total, miss, per-level answer), the
+/// slow-log admission-floor load, and one trace span per batch — exactly
+/// answer_one's untimed recording. With time_each_query the clock-read
+/// flavor is added too: the per-query latency record, the windowed-histogram
+/// record (it reuses the same t1 reading), and slow-log admission for tail
+/// queries. That cost is clock reads, not obs recording, and the bench
+/// reports it as a separate number.
 double run_serial_instrumented(const oracle::PathOracle& oracle,
                                const Workload& w, std::size_t batch,
                                obs::MetricsRegistry& registry,
@@ -90,24 +103,66 @@ double run_serial_instrumented(const oracle::PathOracle& oracle,
   obs::Counter& total = registry.counter("queries_total");
   obs::Counter& misses = registry.counter("cache_misses");
   obs::LatencyHistogram& lat = registry.histogram("query_latency_ns");
+  const std::size_t levels = std::max<std::size_t>(1, oracle.num_levels());
+  std::vector<obs::Counter*> answers;
+  answers.reserve(levels);
+  for (std::size_t level = 0; level < levels; ++level)
+    answers.push_back(
+        &registry.counter("answers_total", {{"level", std::to_string(level)}}));
+  obs::Counter& unreachable =
+      registry.counter("answers_total", {{"level", "unreachable"}});
+  obs::Counter& self = registry.counter("answers_total", {{"level", "self"}});
+  obs::WindowedHistogram window;
+  obs::SlowLog slowlog;
+  std::uint64_t floor_sink = 0;  // keeps the untimed floor load observable
   util::Timer timer;
   Weight sink = 0;
   for (std::size_t begin = 0; begin < w.queries.size(); begin += batch) {
     PATHSEP_SPAN("bench.batch");
     const std::size_t end = std::min(begin + batch, w.queries.size());
     for (std::size_t i = begin; i < end; ++i) {
-      if (time_each_query) {
-        const util::Timer query_timer;
-        sink += oracle.query(w.queries[i].u, w.queries[i].v);
-        lat.record(query_timer.elapsed_ns());
-      } else {
-        sink += oracle.query(w.queries[i].u, w.queries[i].v);
-      }
+      const service::Query& q = w.queries[i];
+      oracle::QueryStats stats;
+      std::uint64_t t0 = 0;
+      if (time_each_query) t0 = obs::window_now_ns();
+      const Weight d = oracle.query_stats(q.u, q.v, stats);
+      sink += d;
       total.inc();
       misses.inc();
+      if (q.u == q.v) {
+        self.inc();
+      } else if (d == graph::kInfiniteWeight) {
+        unreachable.inc();
+      } else {
+        answers[std::min(
+                    levels - 1,
+                    static_cast<std::size_t>(
+                        std::max<std::int32_t>(0, stats.win_level)))]
+            ->inc();
+      }
+      if (time_each_query) {
+        const std::uint64_t t1 = obs::window_now_ns();
+        const std::uint64_t elapsed = t1 - t0;
+        lat.record(elapsed);
+        window.record(elapsed, t1);
+        if (elapsed >= slowlog.admission_floor()) {
+          obs::SlowQuery slow;
+          slow.u = q.u;
+          slow.v = q.v;
+          slow.latency_ns = elapsed;
+          slow.when_ns = t1;
+          slow.entries_scanned = stats.entries_scanned;
+          slow.win_node = stats.win_node;
+          slow.win_level = stats.win_level;
+          slowlog.record(slow);
+        }
+      } else {
+        floor_sink += slowlog.admission_floor();
+      }
     }
   }
   util::do_not_optimize(sink);
+  util::do_not_optimize(floor_sink);
   return static_cast<double>(w.queries.size()) / timer.elapsed_seconds();
 }
 
@@ -115,6 +170,8 @@ struct RunRecord {
   std::string mode, workload;
   std::size_t threads = 1;
   double qps = 0, speedup = 1.0, p99_us = 0;
+  bool has_window = false;  ///< engine modes carry a windowed-tail view
+  obs::WindowedHistogram::View window{};
 };
 
 }  // namespace
@@ -153,13 +210,19 @@ int main(int argc, char** argv) {
                            "speedup", "hit_rate", "p99_us"});
   std::vector<RunRecord> records;
   std::string engine_metrics_json = "{}";
+  std::string windowed_json = "{}";
+  std::string slowlog_json = "[]";
+  std::uint64_t answers_sum = 0, answers_queries = 0;
 
   for (const Workload* w : {&uniform, &zipf}) {
     double serial_s = 0;
-    const double serial_qps = run_serial(*snapshot, *w, &serial_s);
+    obs::LatencyHistogram serial_lat;
+    const double serial_qps = run_serial(*snapshot, *w, &serial_s, &serial_lat);
+    const double serial_p99_us = serial_lat.percentile_nanos(0.99) / 1000.0;
     table.add_row({"serial", w->name, "1", "off",
-                   util::strf("%.0f", serial_qps), "1.00x", "-", "-"});
-    records.push_back({"serial", w->name, 1, serial_qps, 1.0, 0});
+                   util::strf("%.0f", serial_qps), "1.00x", "-",
+                   util::strf("%.1f", serial_p99_us)});
+    records.push_back({"serial", w->name, 1, serial_qps, 1.0, serial_p99_us});
 
     service::QueryEngineOptions pooled_opts;
     pooled_opts.threads = threads;
@@ -175,8 +238,20 @@ int main(int argc, char** argv) {
                    util::strf("%.2fx", pooled_qps / serial_qps), "-",
                    util::strf("%.1f", pooled_p99_us)});
     records.push_back({"pooled", w->name, threads, pooled_qps,
-                       pooled_qps / serial_qps, pooled_p99_us});
+                       pooled_qps / serial_qps, pooled_p99_us, true,
+                       pooled.window().view(obs::window_now_ns())});
     engine_metrics_json = obs::metrics_to_json(pooled.metrics().snapshot());
+    windowed_json = obs::window_to_json(records.back().window);
+    slowlog_json = obs::slowlog_to_json(pooled.slowlog().snapshot());
+    // Attribution invariant the exporter tests pin down: the answers_total
+    // family (levels + cached/self/unreachable) sums to queries_total.
+    answers_sum = 0;
+    answers_queries = 0;
+    for (const obs::MetricSample& s : pooled.metrics().snapshot()) {
+      if (s.kind != obs::MetricKind::kCounter) continue;
+      if (s.name == "answers_total") answers_sum += s.counter_value;
+      if (s.name == "queries_total") answers_queries = s.counter_value;
+    }
 
     service::QueryEngineOptions cached_opts;
     cached_opts.threads = threads;
@@ -201,7 +276,8 @@ int main(int argc, char** argv) {
                    util::strf("%.1f%%", 100.0 * warm_rate),
                    util::strf("%.1f", cached_p99_us)});
     records.push_back({"cached", w->name, threads, cached_qps,
-                       cached_qps / serial_qps, cached_p99_us});
+                       cached_qps / serial_qps, cached_p99_us, true,
+                       cached.window().view(obs::window_now_ns())});
   }
 
   table.print(std::cout);
@@ -266,10 +342,21 @@ int main(int argc, char** argv) {
          << r.workload << "\", \"threads\": " << r.threads
          << ", \"qps\": " << util::strf("%.0f", r.qps)
          << ", \"speedup\": " << util::strf("%.3f", r.speedup)
-         << ", \"p99_us\": " << util::strf("%.2f", r.p99_us) << "}"
-         << (i + 1 < records.size() ? "," : "") << "\n";
+         << ", \"p99_us\": " << util::strf("%.2f", r.p99_us);
+    if (r.has_window)
+      json << ", \"win_qps\": " << util::strf("%.0f", r.window.qps)
+           << ", \"win_p50_us\": "
+           << util::strf("%.2f", r.window.p50_nanos / 1e3)
+           << ", \"win_p99_us\": "
+           << util::strf("%.2f", r.window.p99_nanos / 1e3);
+    json << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"instrumentation_overhead\": {\n"
+  json << "  ],\n  \"windowed\": " << windowed_json << ",\n"
+       << "  \"slowlog\": " << slowlog_json << ",\n"
+       << "  \"answers_level_sum\": {\"answers_total\": " << answers_sum
+       << ", \"queries_total\": " << answers_queries << ", \"equal\": "
+       << (answers_sum == answers_queries ? "true" : "false") << "},\n"
+       << "  \"instrumentation_overhead\": {\n"
        << "    \"raw_qps\": " << util::strf("%.0f", raw_qps)
        << ", \"instrumented_qps\": " << util::strf("%.0f", instr_qps)
        << ", \"tracing_qps\": " << util::strf("%.0f", tracing_qps) << ",\n"

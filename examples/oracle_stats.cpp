@@ -13,8 +13,12 @@
 // Flags: --graph=grid|tree|road (instance family), --side (grid/road side),
 // --n (tree vertices), --eps, --seed, --format=text|json (report rendering),
 // --metrics=none|report|json|prom (process-registry rendering), --trace
-// (enable span recording and print the stitched construction trace).
+// (enable span recording and render the construction trace),
+// --trace-format=text|perfetto|collapsed (stitched tree, Chrome trace_event
+// JSON for ui.perfetto.dev, or folded flamegraph stacks), --trace-out=<path>
+// (write the rendered trace to a file instead of stdout).
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -98,7 +102,10 @@ int run(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string format = args.get("format", "text");
   const std::string metrics = args.get("metrics", "report");
-  const bool trace = args.get_bool("trace");
+  const std::string trace_format = args.get("trace-format", "text");
+  const std::string trace_out = args.get("trace-out");
+  const bool trace = args.get_bool("trace") || !trace_out.empty() ||
+                     args.has("trace-format");
 
   if (format != "text" && format != "json") {
     std::fprintf(stderr, "error: --format must be text or json\n");
@@ -108,6 +115,12 @@ int run(int argc, char** argv) {
       metrics != "prom") {
     std::fprintf(stderr,
                  "error: --metrics must be none, report, json, or prom\n");
+    return 1;
+  }
+  if (trace_format != "text" && trace_format != "perfetto" &&
+      trace_format != "collapsed") {
+    std::fprintf(stderr,
+                 "error: --trace-format must be text, perfetto, or collapsed\n");
     return 1;
   }
   if (trace) obs::set_trace_enabled(true);
@@ -140,11 +153,29 @@ int run(int argc, char** argv) {
   }
 
   if (trace) {
-    const obs::TraceTree stitched = obs::stitch_spans(obs::drain_spans());
-    std::printf("\nconstruction trace (%zu spans, %llu dropped):\n%s",
-                stitched.nodes.size(),
-                static_cast<unsigned long long>(obs::dropped_spans()),
-                obs::format_trace(stitched).c_str());
+    const std::vector<obs::SpanRecord> spans = obs::drain_spans();
+    std::string rendered;
+    if (trace_format == "perfetto") {
+      rendered = obs::trace_to_perfetto(spans);
+    } else if (trace_format == "collapsed") {
+      rendered = obs::trace_to_collapsed(obs::stitch_spans(spans));
+    } else {
+      rendered = obs::format_trace(obs::stitch_spans(spans));
+    }
+    if (!trace_out.empty()) {
+      std::ofstream trace_file(trace_out);
+      trace_file << rendered;
+      std::printf("\nconstruction trace: %zu spans (%llu dropped) written to "
+                  "%s as %s\n",
+                  spans.size(),
+                  static_cast<unsigned long long>(obs::dropped_spans()),
+                  trace_out.c_str(), trace_format.c_str());
+    } else {
+      std::printf("\nconstruction trace (%zu spans, %llu dropped):\n%s",
+                  spans.size(),
+                  static_cast<unsigned long long>(obs::dropped_spans()),
+                  rendered.c_str());
+    }
   }
 
   const auto unused = args.unused();

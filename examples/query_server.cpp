@@ -16,9 +16,13 @@
 // (queries per client batch), --duration (seconds), --pairs (distinct query
 // pairs), --zipf (skew exponent; 0 = uniform), --cache (entries; 0
 // disables), --save/--load/--verify, --statsz=json|prom (render the /statsz
-// payload — engine metrics merged with the process-wide obs registry — after
-// serving, in the named exporter format).
+// payload — engine metrics merged with the process-wide obs registry, plus
+// the windowed latency view and slow-log in json format — after serving),
+// --trace (record trace spans while serving: batch spans plus tail-sampled
+// slow-query exemplars), --trace-out=<path> (write the recorded spans as
+// Perfetto-loadable Chrome trace_event JSON; implies --trace).
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -48,13 +52,23 @@ oracle::PathOracle build_grid_oracle(std::size_t side, double eps) {
 /// The /statsz payload a scraping sidecar would fetch: the engine's private
 /// registry (query totals, latency) merged with the process-wide default
 /// registry (construction pipeline counters), one exporter format per call.
+/// The json flavor also carries the query-path tail sections — the windowed
+/// latency view and the exemplar slow-log (prom stays pure metric samples).
 std::string render_statsz(const service::QueryEngine& engine,
                           const std::string& format) {
   obs::MetricsSnapshot merged = engine.metrics().snapshot();
   const obs::MetricsSnapshot process = obs::default_registry().snapshot();
   merged.insert(merged.end(), process.begin(), process.end());
   if (format == "prom") return obs::metrics_to_prometheus(merged);
-  return obs::metrics_to_json(merged);
+  std::string json = obs::metrics_to_json(merged);
+  // Splice the tail sections into the metrics object before its closing
+  // brace.
+  json.erase(json.find_last_of('}'));
+  json += ",\n  \"windowed\": " +
+          obs::window_to_json(engine.window().view(obs::window_now_ns())) +
+          ",\n  \"slowlog\": " +
+          obs::slowlog_to_json(engine.slowlog().snapshot()) + "\n}\n";
+  return json;
 }
 
 }  // namespace
@@ -77,6 +91,8 @@ int run(int argc, char** argv) {
   const std::string load_path = args.get("load");
   const bool verify = args.get_bool("verify");
   const std::string statsz = args.get("statsz");
+  const std::string trace_out = args.get("trace-out");
+  const bool trace = args.get_bool("trace") || !trace_out.empty();
   if (!statsz.empty() && statsz != "json" && statsz != "prom") {
     std::fprintf(stderr, "error: --statsz must be json or prom\n");
     return 1;
@@ -156,8 +172,10 @@ int run(int argc, char** argv) {
 
   std::printf(
       "serving: %zu engine threads, %zu clients, batch %zu, %zu pairs "
-      "(zipf s=%.2f), cache %zu entries, %.1fs...\n",
-      engine.num_threads(), clients, batch, pairs, zipf_s, cache, duration);
+      "(zipf s=%.2f), cache %zu entries, %.1fs...%s\n",
+      engine.num_threads(), clients, batch, pairs, zipf_s, cache, duration,
+      trace ? " (tracing)" : "");
+  if (trace) obs::set_trace_enabled(true);
 
   std::vector<std::thread> load;
   std::vector<std::uint64_t> answered(clients, 0);
@@ -192,7 +210,51 @@ int run(int argc, char** argv) {
               100.0 * engine.cache().hit_rate(),
               static_cast<unsigned long long>(engine.cache().hits()),
               static_cast<unsigned long long>(engine.cache().misses()));
+
+  // Tail attribution: the rolling windowed view next to the cumulative
+  // percentiles above, and the slowest exemplars with their cost stats.
+  const obs::WindowedHistogram::View wview =
+      engine.window().view(obs::window_now_ns());
+  std::printf("  windowed       qps %.0f, p50 %.1f us, p99 %.1f us "
+              "(last %zu x %.0fs window%s)\n",
+              wview.qps, wview.p50_nanos / 1000.0, wview.p99_nanos / 1000.0,
+              wview.windows, static_cast<double>(wview.interval_ns) / 1e9,
+              wview.windows == 1 ? "" : "s");
+  const std::vector<obs::SlowQuery> slow = engine.slowlog().snapshot();
+  const auto outcome_name = [](obs::SlowQuery::Outcome outcome) {
+    switch (outcome) {
+      case obs::SlowQuery::Outcome::kCached: return "cached";
+      case obs::SlowQuery::Outcome::kSelf: return "self";
+      case obs::SlowQuery::Outcome::kUnreachable: return "unreachable";
+      default: return "oracle";
+    }
+  };
+  std::printf("\nslow-log (top %zu of %llu admitted):\n",
+              std::min<std::size_t>(slow.size(), 5),
+              static_cast<unsigned long long>(engine.slowlog().admitted()));
+  for (std::size_t i = 0; i < slow.size() && i < 5; ++i)
+    std::printf("  (%u, %u) %.1f us, %u entries scanned, level %d, %s%s\n",
+                slow[i].u, slow[i].v,
+                static_cast<double>(slow[i].latency_ns) / 1000.0,
+                slow[i].entries_scanned, slow[i].win_level,
+                outcome_name(slow[i].outcome),
+                slow[i].span_id != 0 ? " [exemplar span]" : "");
+
   std::printf("\nmetrics:\n%s", engine.metrics().report().c_str());
+
+  if (trace) {
+    const std::vector<obs::SpanRecord> spans = obs::drain_spans();
+    obs::set_trace_enabled(false);
+    std::printf("\ntrace: %zu spans recorded, %llu dropped\n", spans.size(),
+                static_cast<unsigned long long>(obs::dropped_spans()));
+    if (!trace_out.empty()) {
+      std::ofstream trace_file(trace_out);
+      trace_file << obs::trace_to_perfetto(spans);
+      std::printf("wrote trace_event JSON to %s (load in ui.perfetto.dev "
+                  "or chrome://tracing)\n",
+                  trace_out.c_str());
+    }
+  }
 
   if (!statsz.empty())
     std::printf("\nstatsz (%s):\n%s", statsz.c_str(),

@@ -1,7 +1,9 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 namespace pathsep::obs {
@@ -184,6 +186,121 @@ std::string metrics_to_prometheus(const MetricsSnapshot& snapshot) {
       }
     }
   }
+  return out.str();
+}
+
+namespace {
+
+/// trace_event wants decimal microseconds; emit ns with three fractional
+/// digits so sub-microsecond spans keep nonzero, distinct timestamps.
+void append_micros(std::ostringstream& out, std::uint64_t nanos) {
+  out << nanos / 1000 << '.';
+  const std::uint64_t frac = nanos % 1000;
+  out << static_cast<char>('0' + frac / 100)
+      << static_cast<char>('0' + frac / 10 % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+std::string trace_to_perfetto(const std::vector<SpanRecord>& records) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& span : records) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"name\": \"" << json_escape(span.name ? span.name : "")
+        << "\", \"cat\": \"pathsep\", \"ph\": \"X\", \"ts\": ";
+    append_micros(out, span.start_ns);
+    out << ", \"dur\": ";
+    append_micros(out, span.end_ns - span.start_ns);
+    out << ", \"pid\": 1, \"tid\": " << span.thread
+        << ", \"args\": {\"id\": " << span.id << ", \"parent\": "
+        << span.parent << "}}";
+  }
+  out << (first ? "]}" : "\n]}") << '\n';
+  return out.str();
+}
+
+namespace {
+
+void fold_node(const TraceTree& tree, std::size_t node, std::string stack,
+               std::map<std::string, std::uint64_t>& folded) {
+  const TraceNode& tn = tree.nodes[node];
+  if (!stack.empty()) stack += ';';
+  stack += tn.span.name ? tn.span.name : "?";
+  std::uint64_t child_ns = 0;
+  for (std::size_t child : tn.children) {
+    const SpanRecord& cs = tree.nodes[child].span;
+    child_ns += cs.end_ns - cs.start_ns;
+    fold_node(tree, child, stack, folded);
+  }
+  const std::uint64_t total = tn.span.end_ns - tn.span.start_ns;
+  // Overlapping children (parallel work stitched under one parent) can sum
+  // past the parent; clamp so self time never goes negative.
+  folded[stack] += total > child_ns ? total - child_ns : 0;
+}
+
+}  // namespace
+
+std::string trace_to_collapsed(const TraceTree& tree) {
+  std::map<std::string, std::uint64_t> folded;  // ordered -> sorted output
+  for (std::size_t root : tree.roots) fold_node(tree, root, "", folded);
+  std::ostringstream out;
+  for (const auto& [stack, self_ns] : folded)
+    out << stack << ' ' << self_ns << '\n';
+  return out.str();
+}
+
+std::string window_to_json(const WindowedHistogram::View& view) {
+  std::ostringstream out;
+  out << "{\"interval_ns\": " << view.interval_ns
+      << ", \"windows\": " << view.windows << ", \"count\": " << view.count
+      << ", \"sum_ns\": " << view.sum_nanos << ", \"qps\": " << view.qps
+      << ", \"p50_us\": " << view.p50_nanos / 1e3
+      << ", \"p95_us\": " << view.p95_nanos / 1e3
+      << ", \"p99_us\": " << view.p99_nanos / 1e3 << ", \"buckets\": [";
+  for (std::size_t i = 0; i < view.buckets.size(); ++i)
+    out << (i ? "," : "") << view.buckets[i];
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+const char* outcome_name(SlowQuery::Outcome outcome) {
+  switch (outcome) {
+    case SlowQuery::Outcome::kOracle:
+      return "oracle";
+    case SlowQuery::Outcome::kCached:
+      return "cached";
+    case SlowQuery::Outcome::kSelf:
+      return "self";
+    case SlowQuery::Outcome::kUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string slowlog_to_json(const std::vector<SlowQuery>& entries) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SlowQuery& e = entries[i];
+    out << (i ? ",\n " : "\n ");
+    out << "{\"u\": " << e.u << ", \"v\": " << e.v
+        << ", \"latency_us\": " << static_cast<double>(e.latency_ns) / 1e3
+        << ", \"when_ns\": " << e.when_ns
+        << ", \"entries_scanned\": " << e.entries_scanned
+        << ", \"win_node\": " << e.win_node
+        << ", \"win_level\": " << e.win_level << ", \"outcome\": \""
+        << outcome_name(e.outcome) << "\", \"span_id\": " << e.span_id
+        << '}';
+  }
+  out << (entries.empty() ? "]" : "\n]");
   return out.str();
 }
 

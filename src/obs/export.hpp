@@ -1,11 +1,18 @@
 // Exporters: render a MetricsSnapshot as JSON (for the stats CLI and bench
 // records) or Prometheus text exposition format version 0.0.4 (what a
-// /statsz or /metrics endpoint serves to a scraper).
+// /statsz or /metrics endpoint serves to a scraper), trace spans as
+// Perfetto-loadable Chrome `trace_event` JSON or collapsed flamegraph
+// stacks, and the query-path views (windowed latency, slow-log) as JSON
+// sections for /statsz payloads and bench records.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/slowlog.hpp"
+#include "obs/trace.hpp"
+#include "obs/window.hpp"
 
 namespace pathsep::obs {
 
@@ -23,5 +30,27 @@ std::string metrics_to_prometheus(const MetricsSnapshot& snapshot);
 /// JSON string escaping ("\" and control characters), exposed because the
 /// report/bench JSON writers share it.
 std::string json_escape(const std::string& text);
+
+/// Chrome `trace_event` JSON (the format Perfetto's UI and chrome://tracing
+/// load): one complete ("ph":"X") event per span, ts/dur in microseconds on
+/// the shared trace-epoch timeline, tid = recording thread ordinal, and the
+/// span/parent ids in "args" so the stitched tree survives the export.
+/// Every record becomes exactly one event — a parser can round-trip the
+/// span count from the "traceEvents" array length.
+std::string trace_to_perfetto(const std::vector<SpanRecord>& records);
+
+/// Collapsed flamegraph stacks ("root;child;leaf <self-time-ns>" lines,
+/// lexicographically sorted): the text format flamegraph.pl and speedscope
+/// fold. Self time is the span's duration minus its stitched children's.
+std::string trace_to_collapsed(const TraceTree& tree);
+
+/// One JSON object for a windowed latency view: window parameters, rolling
+/// qps, count, p50/p95/p99 (microseconds), and the merged bucket vector.
+std::string window_to_json(const WindowedHistogram::View& view);
+
+/// JSON array of slow-log entries, slowest first, with full cost
+/// attribution (latency, entries scanned, winning node/level, outcome,
+/// exemplar span id).
+std::string slowlog_to_json(const std::vector<SlowQuery>& entries);
 
 }  // namespace pathsep::obs

@@ -7,12 +7,44 @@
 
 namespace pathsep::obs {
 
-void LatencyHistogram::record(std::uint64_t nanos) {
+std::size_t latency_bucket(std::uint64_t nanos) {
   // bit_width(0|1)-1 == 0, so zero lands in bucket 0; huge samples clamp
   // into the last bucket (2^47 ns ~ 39 hours, far beyond any query).
-  std::size_t bucket = static_cast<std::size_t>(std::bit_width(nanos | 1) - 1);
-  if (bucket >= kBuckets) bucket = kBuckets - 1;
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::bit_width(nanos | 1) - 1);
+  return bucket >= LatencyHistogram::kBuckets ? LatencyHistogram::kBuckets - 1
+                                              : bucket;
+}
+
+double percentile_from_buckets(std::span<const std::uint64_t> buckets,
+                               std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  // Rank of the requested quantile, 1-based. The comparisons are written so
+  // NaN falls into the first branch (minimum), never an out-of-range rank.
+  std::uint64_t rank;
+  if (!(q > 0.0)) {
+    rank = 1;  // q <= 0 or NaN: the smallest recorded sample
+  } else if (q >= 1.0) {
+    rank = total;  // the largest recorded sample
+  } else {
+    rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    rank = std::clamp<std::uint64_t>(rank, 1, total);
+  }
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Geometric midpoint of [2^i, 2^{i+1}): sqrt(2)*2^i. Bucket 0 holds
+      // [0, 2), report 1.
+      return i == 0 ? 1.0 : std::exp2(static_cast<double>(i) + 0.5);
+    }
+  }
+  return std::exp2(static_cast<double>(buckets.size() - 1) + 0.5);
+}
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  buckets_[latency_bucket(nanos)].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(nanos, std::memory_order_relaxed);
 }
 
@@ -29,30 +61,13 @@ double LatencyHistogram::mean_nanos() const {
 }
 
 double LatencyHistogram::percentile_nanos(double q) const {
-  const std::uint64_t total = count();
-  if (total == 0) return 0.0;
-  // Rank of the requested quantile, 1-based. The comparisons are written so
-  // NaN falls into the first branch (minimum), never an out-of-range rank.
-  std::uint64_t rank;
-  if (!(q > 0.0)) {
-    rank = 1;  // q <= 0 or NaN: the smallest recorded sample
-  } else if (q >= 1.0) {
-    rank = total;  // the largest recorded sample
-  } else {
-    rank = static_cast<std::uint64_t>(
-        std::ceil(q * static_cast<double>(total)));
-    rank = std::clamp<std::uint64_t>(rank, 1, total);
-  }
-  std::uint64_t seen = 0;
+  std::array<std::uint64_t, kBuckets> copy;
+  std::uint64_t total = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) {
-      // Geometric midpoint of [2^i, 2^{i+1}): sqrt(2)*2^i. Bucket 0 holds
-      // [0, 2), report 1.
-      return i == 0 ? 1.0 : std::exp2(static_cast<double>(i) + 0.5);
-    }
+    copy[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += copy[i];
   }
-  return std::exp2(static_cast<double>(kBuckets - 1) + 0.5);
+  return percentile_from_buckets(copy, total, q);
 }
 
 namespace {

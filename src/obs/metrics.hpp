@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +30,21 @@
 #include "util/timer.hpp"
 
 namespace pathsep::obs {
+
+/// Bucket index of a nanosecond sample in the repo-wide power-of-two
+/// histogram vocabulary: bucket i covers [2^i, 2^{i+1}) ns (bucket 0
+/// includes 0); out-of-range samples clamp into the last bucket. Shared by
+/// LatencyHistogram and the windowed view (obs/window.hpp) so their buckets
+/// are directly comparable.
+std::size_t latency_bucket(std::uint64_t nanos);
+
+/// Quantile estimate over one such bucket vector: the geometric midpoint of
+/// the bucket containing the rank (within 2x of the true order statistic).
+/// `total` must equal the sum of `buckets`. Edge cases follow
+/// LatencyHistogram::percentile_nanos exactly (empty -> 0, q <= 0 / NaN ->
+/// smallest bucket, q >= 1 -> largest).
+double percentile_from_buckets(std::span<const std::uint64_t> buckets,
+                               std::uint64_t total, double q);
 
 /// Monotonic atomic counter. Relaxed ordering: totals are read after the
 /// workload quiesces, so no ordering with other memory is needed.

@@ -1,0 +1,81 @@
+// pathsep-lint: hot-path — record() sits on the serving tail; all storage is
+// reserved at construction, so admission never allocates.
+#include "obs/slowlog.hpp"
+
+#include <algorithm>
+
+namespace pathsep::obs {
+
+SlowLog::SlowLog(std::size_t capacity, std::size_t stripes) {
+  capacity_ = capacity;
+  if (capacity == 0) return;  // disabled: floor_ stays UINT64_MAX
+  num_stripes_ = std::clamp<std::size_t>(stripes, 1, capacity);
+  per_stripe_ = (capacity + num_stripes_ - 1) / num_stripes_;
+  // One-time stripe allocation; record() never allocates past this point.
+  // pathsep-lint: allow(hot-path-alloc)
+  stripes_.reset(new Stripe[num_stripes_]);
+  for (std::size_t s = 0; s < num_stripes_; ++s) {
+    util::LockGuard lock(stripes_[s].mutex);
+    stripes_[s].entries.reserve(per_stripe_);
+  }
+  floor_.store(0, std::memory_order_relaxed);
+}
+
+void SlowLog::refresh_floor() {
+  // The log-wide floor is the smallest stripe floor: an entry below it
+  // could not displace anything anywhere. Stripe floors are 0 until the
+  // stripe fills, so the log admits everything while warming up.
+  std::uint64_t floor = UINT64_MAX;
+  for (std::size_t s = 0; s < num_stripes_; ++s)
+    floor = std::min(floor,
+                     stripes_[s].floor.load(std::memory_order_relaxed));
+  floor_.store(floor, std::memory_order_relaxed);
+}
+
+void SlowLog::record(const SlowQuery& query) {
+  if (capacity_ == 0) return;
+  Stripe& stripe =
+      stripes_[next_stripe_.fetch_add(1, std::memory_order_relaxed) %
+               num_stripes_];
+  {
+    util::LockGuard lock(stripe.mutex);
+    if (stripe.entries.size() < per_stripe_) {
+      stripe.entries.push_back(query);
+    } else {
+      std::size_t min_at = 0;
+      for (std::size_t i = 1; i < stripe.entries.size(); ++i)
+        if (stripe.entries[i].latency_ns < stripe.entries[min_at].latency_ns)
+          min_at = i;
+      if (query.latency_ns <= stripe.entries[min_at].latency_ns) return;
+      stripe.entries[min_at] = query;
+    }
+    if (stripe.entries.size() == per_stripe_) {
+      std::uint64_t min_lat = UINT64_MAX;
+      for (const SlowQuery& e : stripe.entries)
+        min_lat = std::min(min_lat, e.latency_ns);
+      stripe.floor.store(min_lat, std::memory_order_relaxed);
+    }
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  refresh_floor();
+}
+
+std::vector<SlowQuery> SlowLog::snapshot() const {
+  std::vector<SlowQuery> out;
+  out.reserve(capacity_);
+  for (std::size_t s = 0; s < num_stripes_; ++s) {
+    util::LockGuard lock(stripes_[s].mutex);
+    out.insert(out.end(), stripes_[s].entries.begin(),
+               stripes_[s].entries.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SlowQuery& a, const SlowQuery& b) {
+    return a.latency_ns > b.latency_ns ||
+           (a.latency_ns == b.latency_ns &&
+            (a.when_ns < b.when_ns ||
+             (a.when_ns == b.when_ns && (a.u < b.u || (a.u == b.u && a.v < b.v)))));
+  });
+  if (out.size() > capacity_) out.resize(capacity_);
+  return out;
+}
+
+}  // namespace pathsep::obs

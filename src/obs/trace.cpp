@@ -167,6 +167,16 @@ ScopedSpan::~ScopedSpan() {
 
 std::uint64_t current_span() { return tls_current_span; }
 
+std::uint64_t commit_span(const char* name, std::uint64_t start_ns,
+                          std::uint64_t end_ns) {
+  if (!trace_enabled()) return 0;
+  const std::uint64_t id = id_counter().fetch_add(1, std::memory_order_relaxed);
+  ThreadBuffer& buffer = thread_buffer();
+  buffer.append({name, id, tls_current_span, start_ns, end_ns,
+                 buffer.ordinal()});
+  return id;
+}
+
 SpanParentGuard::SpanParentGuard(std::uint64_t parent)
     : saved_(tls_current_span) {
   tls_current_span = parent;

@@ -67,6 +67,18 @@ class ScopedSpan {
 /// handing work to another thread.
 std::uint64_t current_span();
 
+/// Tail-based exemplar commit: appends a completed span measured by the
+/// caller (start/end from trace_now_ns()) to this thread's buffer and
+/// returns its id. This is how the serving layer samples by outcome rather
+/// than up front — it times every query anyway, decides *after* the fact
+/// that this one landed in the tail (slow-log admission), and only then
+/// materializes the span, so tracing a high-QPS service records exemplar
+/// spans for tail queries instead of one span per query. The ambient
+/// current_span() is recorded as the parent. Returns 0 (and records
+/// nothing) when tracing is off.
+std::uint64_t commit_span(const char* name, std::uint64_t start_ns,
+                          std::uint64_t end_ns);
+
 /// Installs `parent` as the calling thread's ambient span for the guard's
 /// lifetime — the cross-thread half of span stitching.
 class SpanParentGuard {

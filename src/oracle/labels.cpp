@@ -77,6 +77,39 @@ Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
   return best;
 }
 
+// Deliberately a second copy of the merge walk rather than a flag inside the
+// plain overload: the plain path is the serving hot loop and stays free of
+// the winner bookkeeping.
+Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
+                    QueryCost& cost) {
+  if (u.vertex == v.vertex) return 0;
+  Weight best = graph::kInfiniteWeight;
+  std::size_t iu = 0, iv = 0;
+  while (iu < u.parts.size() && iv < v.parts.size()) {
+    const LabelPart& pu = u.parts[iu];
+    const LabelPart& pv = v.parts[iv];
+    if (pu.node != pv.node) {
+      (pu.node < pv.node ? iu : iv)++;
+      continue;
+    }
+    if (pu.path != pv.path) {
+      (pu.path < pv.path ? iu : iv)++;
+      continue;
+    }
+    cost.entries_scanned += static_cast<std::uint32_t>(
+        pu.connections.size() + pv.connections.size());
+    const Weight pair = sweep_pair(pu.connections, pv.connections);
+    if (pair < best) {
+      best = pair;
+      cost.win_node = pu.node;
+      cost.win_path = pu.path;
+    }
+    ++iu;
+    ++iv;
+  }
+  return best;
+}
+
 std::vector<DistanceLabel> build_labels(
     const hierarchy::DecompositionTree& tree, double epsilon,
     std::size_t threads, BuildLabelsStats* stats) {

@@ -44,6 +44,20 @@ struct DistanceLabel {
 Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
                     std::size_t* visited = nullptr);
 
+/// Cost attribution of one query_labels call, for tail-latency analysis:
+/// how many connections the sweeps read, and which (node, path) pair's
+/// sweep produced the winning minimum. win_node/win_path stay -1 when no
+/// finite estimate exists (disconnected endpoints, or no common part).
+struct QueryCost {
+  std::uint32_t entries_scanned = 0;
+  std::int32_t win_node = -1;
+  std::int32_t win_path = -1;
+};
+
+/// Same estimate as the plain overload, filling `cost` as a side effect.
+Weight query_labels(const DistanceLabel& u, const DistanceLabel& v,
+                    QueryCost& cost);
+
 /// Per-phase wall-clock breakdown of one build_labels call, for benchmarks
 /// and regression attribution (bench_build records it per run).
 struct BuildLabelsStats {

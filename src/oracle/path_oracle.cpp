@@ -1,5 +1,6 @@
 #include "oracle/path_oracle.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -8,7 +9,13 @@ namespace pathsep::oracle {
 
 PathOracle::PathOracle(const hierarchy::DecompositionTree& tree,
                        double epsilon)
-    : epsilon_(epsilon), labels_(build_labels(tree, epsilon)) {}
+    : epsilon_(epsilon), labels_(build_labels(tree, epsilon)) {
+  // Exact level map straight from the tree: node ids index nodes().
+  node_levels_.reserve(tree.nodes().size());
+  for (const hierarchy::DecompositionNode& node : tree.nodes())
+    node_levels_.push_back(static_cast<std::int32_t>(node.depth));
+  num_levels_ = tree.height();
+}
 
 PathOracle::PathOracle(std::vector<DistanceLabel> labels, double epsilon)
     : epsilon_(epsilon), labels_(std::move(labels)) {
@@ -17,6 +24,38 @@ PathOracle::PathOracle(std::vector<DistanceLabel> labels, double epsilon)
       throw std::invalid_argument("label at index " + std::to_string(v) +
                                   " belongs to vertex " +
                                   std::to_string(labels_[v].vertex));
+  derive_levels_from_labels();
+}
+
+void PathOracle::derive_levels_from_labels() {
+  // Snapshot loading gives us labels but no tree. Node ids were assigned in
+  // BFS (parent before child) order, so along any vertex's chain they
+  // strictly increase, and a label's parts — sorted by (node, path) — list
+  // its chain's nodes in root-to-leaf order. A node's level is therefore the
+  // rank of its id among the distinct node ids of a label reaching it; take
+  // the max over labels in case some label's chain skips ancestors that
+  // contributed no connections.
+  std::int32_t max_node = -1;
+  for (const DistanceLabel& label : labels_)
+    for (const LabelPart& part : label.parts)
+      max_node = std::max(max_node, part.node);
+  node_levels_.assign(static_cast<std::size_t>(max_node + 1), -1);
+  for (const DistanceLabel& label : labels_) {
+    std::int32_t rank = -1;
+    std::int32_t prev = -1;
+    for (const LabelPart& part : label.parts) {
+      if (part.node != prev) {
+        ++rank;
+        prev = part.node;
+      }
+      std::int32_t& level = node_levels_[static_cast<std::size_t>(part.node)];
+      level = std::max(level, rank);
+    }
+  }
+  std::int32_t max_level = -1;
+  for (const std::int32_t level : node_levels_)
+    max_level = std::max(max_level, level);
+  num_levels_ = static_cast<std::size_t>(max_level + 1);
 }
 
 std::size_t PathOracle::size_in_words() const {

@@ -8,6 +8,17 @@
 
 namespace pathsep::oracle {
 
+/// Cost attribution of one oracle query: what query_labels measured plus
+/// the decomposition level of the winning portal's node — the quantity the
+/// serving layer aggregates per level (deep levels mean long chains, long
+/// sweeps, tail latency).
+struct QueryStats {
+  std::uint32_t entries_scanned = 0;
+  std::int32_t win_node = -1;   ///< decomposition node of the winning sweep
+  std::int32_t win_path = -1;   ///< path index within that node
+  std::int32_t win_level = -1;  ///< its level (depth); -1 = no finite answer
+};
+
 class PathOracle {
  public:
   /// Builds the oracle for the graph underlying `tree` (root ids).
@@ -28,6 +39,33 @@ class PathOracle {
     return query_labels(labels_[u], labels_[v], visited);
   }
 
+  /// Same estimate, with full cost attribution.
+  Weight query_stats(Vertex u, Vertex v, QueryStats& stats) const {
+    QueryCost cost;
+    const Weight d = query_labels(labels_[u], labels_[v], cost);
+    stats.entries_scanned = cost.entries_scanned;
+    stats.win_node = cost.win_node;
+    stats.win_path = cost.win_path;
+    stats.win_level = node_level(cost.win_node);
+    return d;
+  }
+
+  /// Level (depth) of a decomposition node, or -1 for out-of-range ids
+  /// (including the -1 "no winner" sentinel). Exact tree depths when the
+  /// oracle was built from a tree; reconstructed from label chain order
+  /// when loaded from a snapshot (node ids increase down every chain, so a
+  /// node's level is its rank among the distinct node ids of any label that
+  /// reaches it — levels a label skips make the reconstruction a lower
+  /// bound, exact in practice because every chain contributes its prefix).
+  std::int32_t node_level(std::int32_t node) const {
+    if (node < 0 || static_cast<std::size_t>(node) >= node_levels_.size())
+      return -1;
+    return node_levels_[static_cast<std::size_t>(node)];
+  }
+
+  /// 1 + the largest known level (0 for an empty oracle).
+  std::size_t num_levels() const { return num_levels_; }
+
   double epsilon() const { return epsilon_; }
   std::size_t num_vertices() const { return labels_.size(); }
 
@@ -43,8 +81,12 @@ class PathOracle {
   double average_label_words() const;
 
  private:
+  void derive_levels_from_labels();
+
   double epsilon_;
   std::vector<DistanceLabel> labels_;
+  std::vector<std::int32_t> node_levels_;  ///< indexed by node id
+  std::size_t num_levels_ = 0;
 };
 
 }  // namespace pathsep::oracle

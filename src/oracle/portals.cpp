@@ -125,12 +125,13 @@ PathProjection project_path(const graph::Graph& g,
   sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
   sssp::dijkstra_project(g, path.verts, removed, ws);
   PathProjection out;
-  out.dist.resize(n);
-  out.anchor.resize(n);
-  for (Vertex v = 0; v < n; ++v) {
-    const bool reached = ws.reached(v);
-    out.dist[v] = reached ? ws.dist(v) : graph::kInfiniteWeight;
-    out.anchor[v] = reached ? ws.anchor(v) : 0;
+  out.dist.assign(n, graph::kInfiniteWeight);
+  out.anchor.assign(n, 0);
+  // Bulk-fill defaults, then overwrite the reached slots from the run's
+  // reached list — no per-vertex stamp check on the export.
+  for (const Vertex v : ws.reached_list()) {
+    out.dist[v] = ws.dist(v);
+    out.anchor[v] = ws.anchor(v);
   }
   return out;
 }
@@ -193,8 +194,10 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
   // the mask is built once per stage — incrementally — and a portal vertex
   // requested by many vertices is solved by a single masked Dijkstra.
   std::vector<bool> removed(n, false);
+  std::size_t removed_count = 0;  // kept in sync with `removed` below
   const std::size_t num_stages = std::max<std::size_t>(node.num_stages, 1);
   for (std::size_t stage = 0; stage < num_stages; ++stage) {
+    const std::size_t residual = n - removed_count;
     requests.clear();
     for (std::size_t pi = 0; pi < node.paths.size(); ++pi) {
       const hierarchy::NodePath& path = node.paths[pi];
@@ -206,8 +209,12 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
       })
       sssp::DijkstraWorkspace& ws = sssp::thread_workspace();
       sssp::dijkstra_project(node.graph, path.verts, removed, ws);
-      for (Vertex v = 0; v < n; ++v) {
-        if (!ws.reached(v)) continue;
+      // Late stages reach a shrinking residual fraction; walking the run's
+      // reached list makes request generation O(|reached|) instead of an
+      // O(n) stamp scan. First-touch order is deterministic (this loop is
+      // serial) and cannot leak into the output anyway — every connection
+      // lands in its pre-assigned slot.
+      for (const Vertex v : ws.reached_list()) {
         epsilon_ladder_into(path.prefix, ws.anchor(v), ws.dist(v), epsilon,
                             ladder);
         out.connections[pi][v].resize(ladder.size());
@@ -261,15 +268,29 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
         num_portals,
         [&](std::size_t gi) {
           sssp::DijkstraWorkspace& tws = sssp::thread_workspace();
-          thread_local std::vector<Vertex> targets;
-          targets.clear();
           const std::size_t begin = group_begin[gi];
           const std::size_t end = group_begin[gi + 1];
-          for (std::size_t i = begin; i < end; ++i)
-            targets.push_back(grouped[i].v);
           const Vertex sources[] = {grouped[begin].portal};
-          sssp::dijkstra_masked_until(node.graph, sources, removed, targets,
-                                      tws);
+          if (end - begin == residual) {
+            // Every residual vertex requests this portal (requesters are
+            // distinct per portal), so the early-termination countdown could
+            // only fire on heap exhaustion anyway: run without target
+            // marking and skip the per-settle membership check.
+            PATHSEP_OBS_ONLY({
+              static obs::Counter& whole =
+                  obs::default_registry().counter(
+                      "oracle_whole_residual_dijkstras_total");
+              whole.inc();
+            })
+            sssp::dijkstra_masked(node.graph, sources, removed, tws);
+          } else {
+            thread_local std::vector<Vertex> targets;
+            targets.clear();
+            for (std::size_t i = begin; i < end; ++i)
+              targets.push_back(grouped[i].v);
+            sssp::dijkstra_masked_until(node.graph, sources, removed, targets,
+                                        tws);
+          }
           for (std::size_t i = begin; i < end; ++i) {
             const Request& req = grouped[i];
             assert(tws.reached(req.v));
@@ -285,7 +306,11 @@ NodeConnections compute_connections(const hierarchy::DecompositionNode& node,
     // This stage's paths join the mask for the next stage's residual graph.
     for (const hierarchy::NodePath& path : node.paths)
       if (path.stage == stage)
-        for (Vertex v : path.verts) removed[v] = true;
+        for (Vertex v : path.verts)
+          if (!removed[v]) {
+            removed[v] = true;
+            ++removed_count;
+          }
   }
 
   // Lists need no final sort: slot order is ladder order, i.e. strictly

@@ -21,34 +21,97 @@ QueryEngine::QueryEngine(std::shared_ptr<const oracle::PathOracle> snapshot,
       batches_total_(&metrics_.counter("batches_total")),
       latency_(&metrics_.histogram("query_latency_ns")),
       snapshot_vertices_(&metrics_.gauge("snapshot_vertices")),
+      answers_cached_(
+          &metrics_.counter("answers_total", {{"level", "cached"}})),
+      answers_self_(&metrics_.counter("answers_total", {{"level", "self"}})),
+      answers_unreachable_(
+          &metrics_.counter("answers_total", {{"level", "unreachable"}})),
+      window_(options.window_interval_ns, options.window_slots),
+      slowlog_(options.slowlog_capacity, options.slowlog_stripes),
       pool_(options.threads) {
   if (!snapshot_) throw std::invalid_argument("null oracle snapshot");
   snapshot_vertices_->set(
       static_cast<std::int64_t>(snapshot_->num_vertices()));
+  // One counter per decomposition level of the serving snapshot (at least
+  // one, so the clamped fallback always exists). Registry references are
+  // stable, so the hot path indexes this vector without any lookup.
+  const std::size_t levels = std::max<std::size_t>(1, snapshot_->num_levels());
+  answers_level_.reserve(levels);
+  for (std::size_t level = 0; level < levels; ++level)
+    answers_level_.push_back(
+        &metrics_.counter("answers_total", {{"level", std::to_string(level)}}));
 }
 
 graph::Weight QueryEngine::answer_one(const oracle::PathOracle& oracle,
                                       graph::Vertex u, graph::Vertex v) {
-  const util::Timer timer;
+  // Two clock reads bracket the query — the same pair the latency histogram
+  // always paid. t1 doubles as the windowed sample's timestamp and the pair
+  // as the exemplar span's bounds, so the tail-attribution layer adds no
+  // clock read of its own.
+  const std::uint64_t t0 = obs::window_now_ns();
   graph::Weight result;
+  oracle::QueryStats stats;
+  bool cached = false;
   if (cache_.capacity() == 0) {
     // Cache disabled: skip even the empty-shard lookup; every query is a
     // miss so hits + misses == queries_total still holds.
     cache_misses_->inc();
-    result = oracle.query(u, v);
+    result = oracle.query_stats(u, v, stats);
   } else {
     const std::uint64_t key = ResultCache::key(u, v);
     if (const std::optional<graph::Weight> hit = cache_.get(key)) {
       cache_hits_->inc();
       result = *hit;
+      cached = true;
     } else {
       cache_misses_->inc();
-      result = oracle.query(u, v);
+      result = oracle.query_stats(u, v, stats);
       cache_.put(key, result);
     }
   }
   queries_total_->inc();
-  latency_->record(timer.elapsed_ns());
+
+  // Exactly one "answers_total" instance per query, so the family sums to
+  // queries_total (the invariant the exporter tests pin down).
+  obs::SlowQuery::Outcome outcome;
+  if (cached) {
+    answers_cached_->inc();
+    outcome = obs::SlowQuery::Outcome::kCached;
+  } else if (u == v) {
+    answers_self_->inc();
+    outcome = obs::SlowQuery::Outcome::kSelf;
+  } else if (result == graph::kInfiniteWeight) {
+    answers_unreachable_->inc();
+    outcome = obs::SlowQuery::Outcome::kUnreachable;
+  } else {
+    const std::size_t level = std::min(
+        answers_level_.size() - 1,
+        static_cast<std::size_t>(std::max<std::int32_t>(0, stats.win_level)));
+    answers_level_[level]->inc();
+    outcome = obs::SlowQuery::Outcome::kOracle;
+  }
+
+  const std::uint64_t t1 = obs::window_now_ns();
+  const std::uint64_t elapsed = t1 - t0;
+  latency_->record(elapsed);
+  window_.record(elapsed, t1);
+  // Tail check is one relaxed load; only queries slow enough to enter the
+  // log pay the stripe lock (and, when tracing, materialize their exemplar
+  // span — tail-based sampling, see obs::commit_span).
+  if (elapsed >= slowlog_.admission_floor()) {
+    obs::SlowQuery slow;
+    slow.u = u;
+    slow.v = v;
+    slow.latency_ns = elapsed;
+    slow.when_ns = t1;
+    slow.entries_scanned = stats.entries_scanned;
+    slow.win_node = stats.win_node;
+    slow.win_level = stats.win_level;
+    slow.outcome = outcome;
+    PATHSEP_OBS_ONLY(
+        slow.span_id = obs::commit_span("service.slow_query", t0, t1);)
+    slowlog_.record(slow);
+  }
   return result;
 }
 

@@ -21,6 +21,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/slowlog.hpp"
+#include "obs/window.hpp"
 #include "oracle/path_oracle.hpp"
 #include "service/metrics.hpp"
 #include "service/result_cache.hpp"
@@ -40,6 +42,14 @@ struct QueryEngineOptions {
   /// worker, keeping its label accesses hot and bounding dispatch overhead
   /// to ceil(batch / chunk) queue operations.
   std::size_t batch_chunk = 256;
+  /// Slowest-query exemplars retained (0 disables the slow-log and its
+  /// admission check entirely).
+  std::size_t slowlog_capacity = 64;
+  std::size_t slowlog_stripes = 8;
+  /// Sliding-window latency view: window width and ring size (the rolling
+  /// qps / tail percentiles cover up to window_slots * interval).
+  std::uint64_t window_interval_ns = 1'000'000'000;
+  std::size_t window_slots = 8;
 };
 
 struct Query {
@@ -75,6 +85,16 @@ class QueryEngine {
   const MetricsRegistry& metrics() const { return metrics_; }
   std::size_t num_threads() const { return pool_.num_threads(); }
 
+  /// Rolling latency view (windowed qps / p50 / p95 / p99).
+  const obs::WindowedHistogram& window() const { return window_; }
+  /// The K slowest queries served so far, with cost attribution.
+  const obs::SlowLog& slowlog() const { return slowlog_; }
+  /// Per-level answer counters, index = decomposition level (deeper levels
+  /// clamp into the last slot). Together with the cached / self /
+  /// unreachable instances of the same "answers_total" family, these sum
+  /// exactly to queries_total.
+  std::size_t num_level_counters() const { return answers_level_.size(); }
+
  private:
   graph::Weight answer_one(const oracle::PathOracle& oracle, graph::Vertex u,
                            graph::Vertex v);
@@ -92,6 +112,16 @@ class QueryEngine {
   Counter* batches_total_;
   LatencyHistogram* latency_;
   Gauge* snapshot_vertices_;  ///< vertex count of the serving snapshot
+  /// "answers_total" family: one counter per decomposition level of the
+  /// construction-time snapshot ({"level","N"}), plus the non-oracle
+  /// outcomes ({"level","cached"|"self"|"unreachable"}). Sized once at
+  /// construction; a deeper replacement snapshot clamps into the last level.
+  std::vector<Counter*> answers_level_;
+  Counter* answers_cached_;
+  Counter* answers_self_;
+  Counter* answers_unreachable_;
+  obs::WindowedHistogram window_;
+  obs::SlowLog slowlog_;
   ThreadPool pool_;  ///< last member: workers die before state they touch
 };
 

@@ -30,18 +30,23 @@ bool heap_after(const DijkstraWorkspace::HeapEntry& a,
 /// shortest-path tree (ws.anchor); with the smaller-id tie-break the anchors
 /// are canonical — independent of workspace history and thread count.
 ///
+/// kReached additionally appends each vertex to ws.reached_list() on its
+/// first touch, so callers export the settled set without an O(n) scan.
+/// Zero-cost for runs that don't ask: the tracked update compiles out.
+///
 /// `targets_remaining` > 0 enables early termination: the caller has marked
 /// that many distinct vertices via ws.set_targets(), and the loop stops as
 /// soon as the last of them settles. Settled distances/parents are final in
 /// non-decreasing-distance order, so every target's result is byte-identical
 /// to what an exhaustive run would produce.
-template <bool kAnchors>
+template <bool kAnchors, bool kReached = false>
 void run(const Graph& g, std::span<const Vertex> sources,
          const std::vector<bool>* removed, Weight radius, Vertex target,
          std::size_t targets_remaining, DijkstraWorkspace& ws) {
   const std::size_t n = g.num_vertices();
   ws.begin(n);
   if constexpr (kAnchors) ws.enable_anchors();
+  if constexpr (kReached) ws.enable_reached_list();
   std::vector<DijkstraWorkspace::HeapEntry>& heap = ws.heap();
   // Work counters live in locals (registers) during the loop and are
   // flushed once per run — to the workspace and to process-wide obs
@@ -52,7 +57,10 @@ void run(const Graph& g, std::span<const Vertex> sources,
     assert(s < n);
     assert(!removed || !(*removed)[s]);
     if (ws.dist(s) == 0) continue;
-    ws.update(s, 0, graph::kInvalidVertex);
+    if constexpr (kReached)
+      ws.update_tracked(s, 0, graph::kInvalidVertex);
+    else
+      ws.update(s, 0, graph::kInvalidVertex);
     if constexpr (kAnchors) ws.set_anchor(s, i);
     heap.push_back({0, s});
     std::push_heap(heap.begin(), heap.end(), heap_after);
@@ -75,7 +83,10 @@ void run(const Graph& g, std::span<const Vertex> sources,
       if (removed && (*removed)[a.to]) continue;
       const Weight nd = d + a.weight;
       if (nd < ws.dist(a.to)) {
-        ws.update(a.to, nd, v);
+        if constexpr (kReached)
+          ws.update_tracked(a.to, nd, v);
+        else
+          ws.update(a.to, nd, v);
         if constexpr (kAnchors) ws.set_anchor(a.to, ws.anchor(v));
         heap.push_back({nd, a.to});
         std::push_heap(heap.begin(), heap.end(), heap_after);
@@ -171,8 +182,8 @@ void dijkstra_project(const Graph& g, std::span<const Vertex> sources,
                       const std::vector<bool>& removed,
                       DijkstraWorkspace& ws) {
   assert(removed.empty() || removed.size() == g.num_vertices());
-  run<true>(g, sources, removed.empty() ? nullptr : &removed,
-            graph::kInfiniteWeight, graph::kInvalidVertex, 0, ws);
+  run<true, true>(g, sources, removed.empty() ? nullptr : &removed,
+                  graph::kInfiniteWeight, graph::kInvalidVertex, 0, ws);
 }
 
 void dijkstra_masked_until(const Graph& g, std::span<const Vertex> sources,

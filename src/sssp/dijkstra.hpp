@@ -62,7 +62,9 @@ void dijkstra_masked(const Graph& g, std::span<const Vertex> sources,
 /// the index (into `sources`) of the source whose shortest-path tree it lies
 /// in — read it back through ws.anchor(v). Anchors inherit the smaller-id
 /// tie-break, so they are canonical at any thread count. Pass an empty mask
-/// for none. This is the projection primitive of the portal machinery.
+/// for none. Also fills ws.reached_list() (first-touch order), so callers
+/// can export the settled set without scanning all n slots. This is the
+/// projection primitive of the portal machinery.
 void dijkstra_project(const Graph& g, std::span<const Vertex> sources,
                       const std::vector<bool>& removed, DijkstraWorkspace& ws);
 

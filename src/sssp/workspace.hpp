@@ -84,6 +84,29 @@ class DijkstraWorkspace {
     return stamp_[v] == epoch_ ? anchor_[v] : UINT32_MAX;
   }
 
+  // ---- reached-list channel (sparse-output runs) ---------------------------
+  // A run that enables this channel appends every vertex to reached_list()
+  // the first time its slot is written, so a caller can export the settled
+  // set in O(|reached|) instead of scanning all n slots — the win on
+  // residual-stage runs that touch a small fraction of the graph.
+
+  /// Arms first-touch recording for the current run. Call after begin();
+  /// reserves up to n slots once, so recording itself never allocates.
+  void enable_reached_list() {
+    reached_list_.clear();
+    if (reached_list_.capacity() < n_) reached_list_.reserve(n_);
+  }
+
+  /// update() plus first-touch append; pairs with enable_reached_list().
+  void update_tracked(Vertex v, Weight d, Vertex parent) {
+    if (stamp_[v] != epoch_) reached_list_.push_back(v);
+    update(v, d, parent);
+  }
+
+  /// Vertices touched by the last reached-tracking run, in first-touch
+  /// order (deterministic: the runner's settle order is canonical).
+  std::span<const Vertex> reached_list() const { return reached_list_; }
+
   // ---- target marking (early-terminated runs) ------------------------------
   // A run given a target set stops settling once every marked vertex is
   // final; the marks live in their own epoch-stamped array so registering a
@@ -148,6 +171,7 @@ class DijkstraWorkspace {
   std::size_t n_ = 0;
   WorkStats work_;
   std::vector<std::uint32_t> anchor_;        ///< nearest-source index channel
+  std::vector<Vertex> reached_list_;         ///< first-touch order, opt-in
   std::vector<std::uint64_t> target_stamp_;  ///< target iff == target_epoch_
   std::uint64_t target_epoch_ = 0;           ///< 0 = no target set registered
 };

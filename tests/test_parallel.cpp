@@ -248,6 +248,36 @@ TEST(EarlyTermination, ProjectionAnchorsAreConsistent) {
   }
 }
 
+/// dijkstra_project's reached-list channel: the list the portal exporters
+/// iterate instead of scanning all n slots must contain exactly the reached
+/// set, free of duplicates, at any mask density.
+TEST(EarlyTermination, ProjectionReachedListMatchesReachedFlags) {
+  util::Rng rng(929);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 60 + rng.next_below(100);
+    const Graph g = graph::gnm_random(n, 3 * n, rng, true);
+    std::vector<bool> removed(n, false);
+    for (Vertex v = 0; v < n; ++v) removed[v] = rng.next_bool(0.25);
+    std::vector<Vertex> sources;
+    for (Vertex v = 0; v < n && sources.size() < 4; ++v)
+      if (!removed[v]) sources.push_back(v);
+    ASSERT_FALSE(sources.empty());
+
+    sssp::DijkstraWorkspace ws;
+    sssp::dijkstra_project(g, sources, removed, ws);
+
+    std::vector<bool> listed(n, false);
+    for (const Vertex v : ws.reached_list()) {
+      ASSERT_LT(v, n);
+      EXPECT_FALSE(listed[v]) << "duplicate " << v << " in reached list";
+      listed[v] = true;
+      EXPECT_TRUE(ws.reached(v));
+    }
+    for (Vertex v = 0; v < n; ++v)
+      EXPECT_EQ(listed[v], ws.reached(v)) << v;
+  }
+}
+
 // ------------------------------------------------------------------ audits
 
 TEST(ParallelBuild, ParallelTreePassesDeepAudits) {
