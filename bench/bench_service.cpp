@@ -1,5 +1,7 @@
 // E14 — query service throughput: serial dispatch vs. the pooled batched
-// engine vs. the pooled engine with its sharded LRU result cache.
+// engine vs. the pooled engine with its sharded LRU result cache, and the
+// shard-per-core ShardedEngine (lock-free MPSC intake + epoch-swapped
+// snapshots) at 1/2/4/8 shard workers on a >=100k-vertex grid.
 //
 // Workload: a planar grid oracle (the paper's canonical 1-path-separable
 // family) serving a fixed number of (u, v) queries, drawn either uniformly
@@ -7,24 +9,51 @@
 // popularity distribution an object-location service sees. Serial answers
 // on one thread straight from PathOracle::query; pooled fans batches out to
 // the persistent worker pool; cached adds the result cache on top (warmed
-// by one pass). Speedups are relative to serial QPS on the same workload.
+// by one pass); sharded routes each pair to its owning worker through the
+// intake rings. Speedups are relative to serial QPS on the same workload.
+// Every engine row carries the PR 8 observability surface: windowed
+// qps/p50/p99, slow-log exemplars, and the answers_total-level family (which
+// the bench asserts sums to queries_total). Sharded rows additionally
+// cross-check an order-sensitive FNV digest of the full answer stream — any
+// divergence across shard counts is a hard failure (nonzero exit).
 //
-// Also measures the observability layer's hot-path cost: the same serial
-// query loop re-run with per-query histogram recording plus a per-batch
-// span, once with tracing disabled (the production default — the span is
-// one relaxed atomic load) and once with tracing enabled. Overheads and the
-// engine's metrics snapshot are written to --out (default
-// BENCH_service.json) for the repo record.
+// Beyond closed-loop throughput the bench measures:
+//   - open-loop arrival (E14d): batches submitted on a fixed schedule via
+//     ShardedEngine::submit_batch, latency measured from the *scheduled*
+//     arrival (not the submit), so queueing delay under load is visible —
+//     p50/p99 reported at 0.5/0.7/0.9 of the measured closed-loop peak.
+//   - the network path (E14e): an in-process epoll NetServer serving the
+//     binary wire protocol on localhost, driven by the same loadgen loop
+//     that `bench_service --loadgen --connect=HOST:PORT` runs against an
+//     external server (scripts/serve_smoke.sh wires the two together).
+//   - a tracing-on row (E14c): the sharded engine serving with spans
+//     enabled; the bench asserts at least one admitted slow-log entry
+//     carries a nonzero exemplar span id (tail sampling actually fired).
+//
+// Also measures the observability layer's hot-path cost (E14b): the same
+// serial query loop re-run with per-query histogram recording plus a
+// per-batch span, tracing off then on. Results land in --out (default
+// BENCH_service.json) for the repo record. --quick shrinks every dimension
+// for smoke runs.
 #include "common.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <deque>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "service/net.hpp"
+#include "service/net_server.hpp"
 #include "service/query_engine.hpp"
+#include "service/sharded_engine.hpp"
 #include "util/args.hpp"
 #include "util/parallel.hpp"
 
@@ -53,6 +82,30 @@ Workload make_workload(const std::string& name, std::size_t distinct_pairs,
   return w;
 }
 
+/// Order-sensitive FNV-1a over the raw answer bytes: equal streams <=> equal
+/// digests, so one u64 cross-checks exactness across engines/shard counts.
+struct FnvDigest {
+  std::uint64_t h = 1469598103934665603ULL;
+  void add(const Weight* values, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &values[i], sizeof(bits));
+      for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (bits >> shift) & 0xFFu;
+        h *= 1099511628211ULL;
+      }
+    }
+  }
+};
+
+double percentile(std::vector<double>& sorted_in_place, double p) {
+  if (sorted_in_place.empty()) return 0.0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_in_place.size() - 1));
+  return sorted_in_place[idx];
+}
+
 /// With `lat` null this is the raw loop (the overhead section's baseline);
 /// with a histogram it times every query, so the serial row reports a real
 /// p99 instead of 0.00 — the same per-query timer the engine rows pay.
@@ -74,6 +127,16 @@ double run_serial(const oracle::PathOracle& oracle, const Workload& w,
   return static_cast<double>(w.queries.size()) / *seconds;
 }
 
+std::uint64_t serial_digest(const oracle::PathOracle& oracle,
+                            const Workload& w) {
+  FnvDigest digest;
+  for (const service::Query& q : w.queries) {
+    const Weight d = oracle.query(q.u, q.v);
+    digest.add(&d, 1);
+  }
+  return digest.h;
+}
+
 double run_engine(service::QueryEngine& engine, const Workload& w,
                   std::size_t batch, double* seconds) {
   util::Timer timer;
@@ -91,11 +154,14 @@ double run_engine(service::QueryEngine& engine, const Workload& w,
 /// the query hot path: the cost-tracking query (query_stats instead of
 /// query), three counter increments (total, miss, per-level answer), the
 /// slow-log admission-floor load, and one trace span per batch — exactly
-/// answer_one's untimed recording. With time_each_query the clock-read
-/// flavor is added too: the per-query latency record, the windowed-histogram
-/// record (it reuses the same t1 reading), and slow-log admission for tail
-/// queries. That cost is clock reads, not obs recording, and the bench
-/// reports it as a separate number.
+/// the untimed recording of the shared AnswerPath. With time_each_query the
+/// clock-read flavor is added too: the per-query latency record, the
+/// windowed-histogram record (it reuses the same t1 reading), and slow-log
+/// admission for tail queries. That cost is clock reads, not obs recording,
+/// and the bench reports it as a separate number. (The engines now chain
+/// timestamps across a chunk — n+1 reads per n queries — so their clock
+/// cost is roughly *half* this serial per-query-timer number; that is what
+/// fixed the pooled zipf row that sat below 1.0x before PR 10.)
 double run_serial_instrumented(const oracle::PathOracle& oracle,
                                const Workload& w, std::size_t batch,
                                obs::MetricsRegistry& registry,
@@ -174,6 +240,247 @@ struct RunRecord {
   obs::WindowedHistogram::View window{};
 };
 
+// --------------------------------------------------------- sharded closed loop
+
+struct ShardedRow {
+  std::size_t shards = 1;
+  double qps = 0, speedup = 1.0, p99_us = 0;
+  std::uint64_t digest = 0;
+  obs::WindowedHistogram::View window{};
+  bool answers_sum_ok = true;
+};
+
+ShardedRow run_sharded(
+    const std::shared_ptr<const oracle::PathOracle>& snapshot,
+    const Workload& w, std::size_t batch, std::size_t shards,
+    double serial_qps) {
+  service::ShardedEngineOptions opts;
+  opts.shards = shards;
+  opts.cache_capacity = 0;
+  service::ShardedEngine engine(snapshot, opts);
+
+  std::vector<Weight> results(batch);
+  FnvDigest digest;
+  util::Timer timer;
+  for (std::size_t begin = 0; begin < w.queries.size(); begin += batch) {
+    const std::size_t size = std::min(batch, w.queries.size() - begin);
+    engine.query_batch_into(
+        std::span<const service::Query>(w.queries).subspan(begin, size),
+        results.data());
+    digest.add(results.data(), size);
+  }
+  const double seconds = timer.elapsed_seconds();
+
+  ShardedRow row;
+  row.shards = engine.num_shards();
+  row.qps = static_cast<double>(w.queries.size()) / seconds;
+  row.speedup = row.qps / serial_qps;
+  row.p99_us =
+      engine.metrics().histogram("query_latency_ns").percentile_nanos(0.99) /
+      1000.0;
+  row.digest = digest.h;
+  row.window = engine.window().view(obs::window_now_ns());
+  std::uint64_t answers_sum = 0, queries_total = 0;
+  for (const obs::MetricSample& s : engine.metrics().snapshot()) {
+    if (s.kind != obs::MetricKind::kCounter) continue;
+    if (s.name == "answers_total") answers_sum += s.counter_value;
+    if (s.name == "queries_total") queries_total = s.counter_value;
+  }
+  row.answers_sum_ok =
+      answers_sum == queries_total && queries_total == w.queries.size();
+  return row;
+}
+
+// ------------------------------------------------------------ open-loop rows
+
+struct OpenLoopRow {
+  double offered_qps = 0, achieved_qps = 0;
+  double p50_us = 0, p99_us = 0;
+  std::size_t queries = 0;
+};
+
+/// Submits `batch`-sized slices on a fixed arrival schedule and measures
+/// completion latency from the *scheduled* arrival time — a batch that
+/// queues behind a backlog is charged its queueing delay even though the
+/// submit itself happened late (the standard coordinated-omission fix).
+OpenLoopRow run_open_loop(service::ShardedEngine& engine, const Workload& w,
+                          std::size_t batch, double offered_qps) {
+  struct Inflight {
+    std::atomic<std::uint32_t> remaining{0};
+    std::uint64_t scheduled_ns = 0;
+  };
+  const std::size_t total = w.queries.size();
+  std::vector<Weight> results(total);
+  std::deque<std::unique_ptr<Inflight>> inflight;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(total / batch + 2);
+  const double interval_ns =
+      1e9 * static_cast<double>(batch) / offered_qps;
+
+  const std::uint64_t t_start = obs::window_now_ns();
+  std::uint64_t last_done = t_start;
+  auto harvest = [&inflight, &latencies_us, &last_done](bool block) {
+    while (!inflight.empty()) {
+      Inflight& front = *inflight.front();
+      std::uint32_t left = front.remaining.load(std::memory_order_acquire);
+      if (left != 0) {
+        if (!block) return;
+        do {
+          front.remaining.wait(left, std::memory_order_acquire);
+        } while ((left = front.remaining.load(std::memory_order_acquire)) !=
+                 0);
+      }
+      const std::uint64_t now = obs::window_now_ns();
+      last_done = now;
+      latencies_us.push_back(static_cast<double>(now - front.scheduled_ns) /
+                             1e3);
+      inflight.pop_front();
+      if (block) return;  // freed one slot; caller decides whether to block on
+    }                     // the next
+  };
+
+  std::size_t k = 0;
+  for (std::size_t begin = 0; begin < total; begin += batch, ++k) {
+    const std::size_t size = std::min(batch, total - begin);
+    const std::uint64_t scheduled =
+        t_start + static_cast<std::uint64_t>(interval_ns *
+                                             static_cast<double>(k));
+    for (;;) {
+      if (obs::window_now_ns() >= scheduled) break;
+      harvest(/*block=*/false);
+      const std::uint64_t now = obs::window_now_ns();
+      if (now >= scheduled) break;
+      const std::uint64_t ahead = scheduled - now;
+      if (ahead > 200'000)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(ahead - 100'000));
+      else
+        std::this_thread::yield();
+    }
+    auto entry = std::make_unique<Inflight>();
+    entry->scheduled_ns = scheduled;
+    entry->remaining.store(static_cast<std::uint32_t>(size),
+                           std::memory_order_relaxed);
+    engine.submit_batch(
+        std::span<const service::Query>(w.queries).subspan(begin, size),
+        results.data() + begin, &entry->remaining);
+    inflight.push_back(std::move(entry));
+    harvest(/*block=*/false);
+    while (inflight.size() > 128) harvest(/*block=*/true);
+  }
+  while (!inflight.empty()) harvest(/*block=*/true);
+  util::do_not_optimize(results);
+
+  OpenLoopRow row;
+  row.offered_qps = offered_qps;
+  row.queries = total;
+  const double seconds =
+      static_cast<double>(std::max<std::uint64_t>(last_done - t_start, 1)) /
+      1e9;
+  row.achieved_qps = static_cast<double>(total) / seconds;
+  row.p50_us = percentile(latencies_us, 0.50);
+  row.p99_us = percentile(latencies_us, 0.99);
+  return row;
+}
+
+// -------------------------------------------------------------- network rows
+
+struct NetRow {
+  double qps = 0, p50_us = 0, p99_us = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Closed-loop wire-protocol load generator: frames of `batch` pairs, one
+/// round-trip latency sample per frame. The digest covers every distance in
+/// arrival order, so the caller can cross-check against a local oracle.
+NetRow run_net_loadgen(const std::string& host, std::uint16_t port,
+                       const Workload& w, std::size_t batch) {
+  service::wire::NetClient client;
+  client.connect(host, port);
+  std::vector<Weight> distances;
+  std::vector<double> latencies_us;
+  FnvDigest digest;
+  NetRow row;
+  util::Timer timer;
+  for (std::size_t begin = 0; begin < w.queries.size(); begin += batch) {
+    const std::size_t size = std::min(batch, w.queries.size() - begin);
+    const util::Timer frame_timer;
+    client.query_batch(
+        std::span<const service::Query>(w.queries).subspan(begin, size),
+        distances);
+    latencies_us.push_back(static_cast<double>(frame_timer.elapsed_ns()) /
+                           1e3);
+    digest.add(distances.data(), distances.size());
+    ++row.frames;
+  }
+  row.qps =
+      static_cast<double>(w.queries.size()) / timer.elapsed_seconds();
+  row.p50_us = percentile(latencies_us, 0.50);
+  row.p99_us = percentile(latencies_us, 0.99);
+  row.digest = digest.h;
+  return row;
+}
+
+std::string hex64(std::uint64_t value) {
+  return util::strf("%016llx", static_cast<unsigned long long>(value));
+}
+
+// ------------------------------------------------------------- loadgen mode
+
+/// `bench_service --loadgen --connect=HOST:PORT` — drive an external server
+/// (examples/query_server --serve) over the wire protocol. With --verify the
+/// same deterministic grid oracle is built locally and the answer digest
+/// must match (scripts/serve_smoke.sh relies on this). Exits nonzero on any
+/// mismatch.
+int run_loadgen_cli(const util::Args& args) {
+  const std::string connect = args.get("connect", "127.0.0.1:9917");
+  const std::size_t colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect expects HOST:PORT, got %s\n",
+                 connect.c_str());
+    return 2;
+  }
+  const std::string host = connect.substr(0, colon);
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(connect.substr(colon + 1)));
+  const auto side = static_cast<std::size_t>(args.get_int("side", 40));
+  const double eps = args.get_double("eps", 0.25);
+  const auto num_queries =
+      static_cast<std::size_t>(args.get_int("queries", 50000));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 512));
+  const bool verify = args.get_bool("verify");
+
+  const std::size_t n = side * side;
+  const Workload w = make_workload("loadgen", std::max<std::size_t>(
+                                                  1, num_queries / 2),
+                                   0.0, num_queries, n, 7);
+  std::printf("loadgen: %s:%u, %zu queries (grid %zux%zu), batch %zu\n",
+              host.c_str(), port, num_queries, side, side, batch);
+  const NetRow row = run_net_loadgen(host, port, w, batch);
+  std::printf("loadgen: %.0f qps over the wire, frame p50 %.1f us, "
+              "p99 %.1f us, %llu frames, digest %s\n",
+              row.qps, row.p50_us, row.p99_us,
+              static_cast<unsigned long long>(row.frames),
+              hex64(row.digest).c_str());
+
+  if (verify) {
+    // The server built its snapshot from the same deterministic recipe
+    // (grid side + eps), so answers must be byte-identical.
+    Instance inst = make_grid(side);
+    const hierarchy::DecompositionTree tree(inst.graph, *inst.finder);
+    const oracle::PathOracle local(tree, eps);
+    const std::uint64_t expected = serial_digest(local, w);
+    if (expected != row.digest) {
+      std::fprintf(stderr,
+                   "loadgen: VERIFY FAILED — local digest %s != wire %s\n",
+                   hex64(expected).c_str(), hex64(row.digest).c_str());
+      return 1;
+    }
+    std::printf("loadgen: verify OK — wire answers match the local oracle\n");
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace pathsep::bench
 
@@ -182,13 +489,21 @@ int main(int argc, char** argv) {
   using namespace pathsep::bench;
 
   util::Args args(argc, argv);
+  if (args.get_bool("loadgen")) return run_loadgen_cli(args);
+
+  const bool quick = args.get_bool("quick");
   const std::string out_path = args.get("out", "BENCH_service.json");
-  const std::size_t side = 40;          // 1600-vertex planar grid
+  const std::size_t side = quick ? 24 : 40;  // E14 small grid
   const double eps = 0.25;
-  const std::size_t num_queries = 400000;
-  const std::size_t distinct_pairs = 200000;
+  const std::size_t num_queries = quick ? 40000 : 400000;
+  const std::size_t distinct_pairs = quick ? 20000 : 200000;
   const std::size_t batch = 1024;
   const std::size_t threads = util::default_threads();
+  // The sharded/network sections run on a separate >=100k-vertex snapshot
+  // (acceptance floor); --quick shrinks it to keep smoke runs under a second.
+  const std::size_t big_side = quick ? 60 : 320;
+  const std::size_t big_queries = quick ? 20000 : 200000;
+  int exit_code = 0;
 
   section("E14", "query service throughput (serial vs pooled vs cached)");
   std::printf("grid %zux%zu, eps=%.2f, %zu queries, %zu distinct pairs, "
@@ -283,14 +598,16 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::printf(
       "\nnotes: pooled speedup scales with hardware threads (this run: %zu); "
-      "cached hit-rate column is measured after a full warming pass.\n",
+      "cached hit-rate column is measured after a full warming pass; batches "
+      "at or below the adaptive inline cutoff are answered on the caller's "
+      "thread with chained timestamps.\n",
       threads);
 
   // ---- Instrumentation overhead: raw serial loop vs. the same loop with
   // per-query obs recording, tracing off then on. Best of 3 reps each to
   // keep the percentages from reflecting scheduler noise.
   section("E14b", "observability hot-path overhead (serial query loop)");
-  const int reps = 3;
+  const int reps = quick ? 1 : 3;
   double raw_qps = 0, instr_qps = 0, tracing_qps = 0, timed_qps = 0;
   obs::set_trace_enabled(false);
   for (int r = 0; r < reps; ++r) {
@@ -328,6 +645,175 @@ int main(int argc, char** argv) {
       raw_qps, instr_qps, overhead_disabled_pct, tracing_qps,
       overhead_tracing_pct, spans_recorded, timed_qps, per_query_timing_pct);
 
+  // ---- E14c: shard-per-core engine on a production-sized snapshot, with
+  // the digest cross-check and a tracing-on row.
+  section("E14c", "sharded engine (lock-free intake, epoch snapshots)");
+  std::printf("building grid %zux%zu (n=%zu) snapshot...\n", big_side,
+              big_side, big_side * big_side);
+  Instance big_inst = make_grid(big_side);
+  const hierarchy::DecompositionTree big_tree(big_inst.graph,
+                                              *big_inst.finder);
+  auto big_snapshot =
+      std::make_shared<const oracle::PathOracle>(big_tree, eps);
+  const Workload big_w =
+      make_workload("uniform", big_queries / 2, 0.0, big_queries,
+                    big_snapshot->num_vertices(), 11);
+
+  double big_serial_s = 0;
+  obs::LatencyHistogram big_serial_lat;
+  const double big_serial_qps =
+      run_serial(*big_snapshot, big_w, &big_serial_s, &big_serial_lat);
+  const std::uint64_t expected_digest = serial_digest(*big_snapshot, big_w);
+
+  util::TableWriter sharded_table(
+      {"mode", "shards", "qps", "speedup", "p99_us", "win_p99_us", "digest",
+       "sum_ok"});
+  sharded_table.add_row(
+      {"serial", "1", util::strf("%.0f", big_serial_qps), "1.00x",
+       util::strf("%.1f", big_serial_lat.percentile_nanos(0.99) / 1000.0),
+       "-", hex64(expected_digest), "-"});
+
+  std::vector<ShardedRow> sharded_rows;
+  double peak_qps = big_serial_qps;
+  bool digests_ok = true;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const ShardedRow row =
+        run_sharded(big_snapshot, big_w, batch, shards, big_serial_qps);
+    sharded_rows.push_back(row);
+    peak_qps = std::max(peak_qps, row.qps);
+    const bool digest_ok = row.digest == expected_digest;
+    digests_ok = digests_ok && digest_ok && row.answers_sum_ok;
+    sharded_table.add_row(
+        {"sharded", util::strf("%zu", row.shards),
+         util::strf("%.0f", row.qps), util::strf("%.2fx", row.speedup),
+         util::strf("%.1f", row.p99_us),
+         util::strf("%.1f", row.window.p99_nanos / 1e3),
+         hex64(row.digest) + (digest_ok ? "" : " MISMATCH"),
+         row.answers_sum_ok ? "yes" : "NO"});
+  }
+
+  // Tracing-on sharded row: tail sampling must attach a nonzero exemplar
+  // span id to at least one admitted slow-log entry.
+  obs::set_trace_enabled(true);
+  std::size_t slowlog_span_entries = 0;
+  std::size_t slowlog_entries = 0;
+  double tracing_sharded_qps = 0;
+  {
+    service::ShardedEngineOptions opts;
+    opts.shards = threads;
+    opts.cache_capacity = 0;
+    opts.slowlog_capacity = 32;
+    service::ShardedEngine engine(big_snapshot, opts);
+    std::vector<Weight> results(batch);
+    util::Timer timer;
+    for (std::size_t begin = 0; begin < big_w.queries.size();
+         begin += batch) {
+      const std::size_t size =
+          std::min(batch, big_w.queries.size() - begin);
+      engine.query_batch_into(
+          std::span<const service::Query>(big_w.queries)
+              .subspan(begin, size),
+          results.data());
+    }
+    tracing_sharded_qps =
+        static_cast<double>(big_w.queries.size()) / timer.elapsed_seconds();
+    for (const obs::SlowQuery& slow : engine.slowlog().snapshot()) {
+      ++slowlog_entries;
+      if (slow.span_id != 0) ++slowlog_span_entries;
+    }
+    slowlog_json = obs::slowlog_to_json(engine.slowlog().snapshot());
+  }
+  obs::set_trace_enabled(false);
+  const std::size_t tracing_spans = obs::drain_spans().size();
+  sharded_table.add_row({"sharded-tracing", util::strf("%zu", threads),
+                         util::strf("%.0f", tracing_sharded_qps),
+                         util::strf("%.2fx",
+                                    tracing_sharded_qps / big_serial_qps),
+                         "-", "-", "-",
+                         slowlog_span_entries > 0 ? "yes" : "NO"});
+  sharded_table.print(std::cout);
+  std::printf("tracing row: %zu slowlog entries, %zu with a nonzero exemplar "
+              "span id, %zu spans committed\n",
+              slowlog_entries, slowlog_span_entries, tracing_spans);
+#if !defined(PATHSEP_OBS_DISABLED)
+  if (slowlog_span_entries == 0) {
+    std::fprintf(stderr, "FAIL: no slow-log entry carries a tail-sampled "
+                         "span id with tracing on\n");
+    exit_code = 2;
+  }
+#endif
+  if (!digests_ok) {
+    std::fprintf(stderr, "FAIL: sharded answer digests or answers_total sums "
+                         "diverged from serial\n");
+    exit_code = 2;
+  }
+  if (!sharded_rows.empty() && sharded_rows.front().speedup < 1.0)
+    std::printf("WARNING: sharded(1) below serial (%.3fx)\n",
+                sharded_rows.front().speedup);
+
+  // ---- E14d: open-loop arrival — p50/p99 from scheduled arrival time at
+  // fractions of the measured closed-loop peak.
+  section("E14d", "open-loop arrival (latency from scheduled arrival)");
+  std::vector<OpenLoopRow> open_loop_rows;
+  {
+    service::ShardedEngineOptions opts;
+    opts.shards = threads;
+    opts.cache_capacity = 0;
+    service::ShardedEngine engine(big_snapshot, opts);
+    util::TableWriter ol_table({"offered_qps", "of_peak", "achieved_qps",
+                                "p50_us", "p99_us"});
+    const std::vector<double> fractions =
+        quick ? std::vector<double>{0.7} : std::vector<double>{0.5, 0.7, 0.9};
+    for (const double fraction : fractions) {
+      const OpenLoopRow row =
+          run_open_loop(engine, big_w, 256, fraction * peak_qps);
+      open_loop_rows.push_back(row);
+      ol_table.add_row({util::strf("%.0f", row.offered_qps),
+                        util::strf("%.0f%%", 100.0 * fraction),
+                        util::strf("%.0f", row.achieved_qps),
+                        util::strf("%.1f", row.p50_us),
+                        util::strf("%.1f", row.p99_us)});
+    }
+    ol_table.print(std::cout);
+    std::printf("batch 256, in-flight cap 128 batches, peak %.0f qps\n",
+                peak_qps);
+  }
+
+  // ---- E14e: the network path — in-process epoll server on localhost,
+  // driven by the same loadgen loop as --loadgen --connect.
+  section("E14e", "network path (binary protocol over localhost)");
+  NetRow net_row;
+  bool net_ok = true;
+#if defined(__linux__)
+  {
+    service::ShardedEngineOptions opts;
+    opts.shards = threads;
+    opts.cache_capacity = 0;
+    service::ShardedEngine engine(big_snapshot, opts);
+    service::NetServer server(engine);
+    server.start();
+    net_row = run_net_loadgen("127.0.0.1", server.port(), big_w, 512);
+    const service::NetServer::Stats stats = server.stats();
+    server.stop();
+    net_ok = net_row.digest == expected_digest;
+    std::printf("wire: %.0f qps, frame p50 %.1f us, p99 %.1f us over %llu "
+                "frames (%.1f MiB in, %.1f MiB out), digest %s%s\n",
+                net_row.qps, net_row.p50_us, net_row.p99_us,
+                static_cast<unsigned long long>(net_row.frames),
+                static_cast<double>(stats.bytes_in) / (1024.0 * 1024.0),
+                static_cast<double>(stats.bytes_out) / (1024.0 * 1024.0),
+                hex64(net_row.digest).c_str(),
+                net_ok ? " (matches serial)" : " MISMATCH");
+    if (!net_ok) {
+      std::fprintf(stderr,
+                   "FAIL: network-path digest diverged from serial\n");
+      exit_code = 2;
+    }
+  }
+#else
+  std::printf("skipped (epoll front-end is Linux-only)\n");
+#endif
+
   // ---- JSON record for the repo (EXPERIMENTS.md points here).
   std::ostringstream json;
   json << "{\n  \"bench\": \"bench_service\",\n"
@@ -351,7 +837,50 @@ int main(int argc, char** argv) {
            << util::strf("%.2f", r.window.p99_nanos / 1e3);
     json << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"windowed\": " << windowed_json << ",\n"
+  json << "  ],\n"
+       << "  \"sharded\": {\"grid_side\": " << big_side
+       << ", \"num_vertices\": " << big_side * big_side
+       << ", \"num_queries\": " << big_queries
+       << ", \"serial_qps\": " << util::strf("%.0f", big_serial_qps)
+       << ", \"digest\": \"" << hex64(expected_digest)
+       << "\", \"digests_ok\": " << (digests_ok ? "true" : "false")
+       << ",\n    \"runs\": [\n";
+  for (std::size_t i = 0; i < sharded_rows.size(); ++i) {
+    const ShardedRow& r = sharded_rows[i];
+    json << "      {\"shards\": " << r.shards
+         << ", \"qps\": " << util::strf("%.0f", r.qps)
+         << ", \"speedup\": " << util::strf("%.3f", r.speedup)
+         << ", \"p99_us\": " << util::strf("%.2f", r.p99_us)
+         << ", \"win_qps\": " << util::strf("%.0f", r.window.qps)
+         << ", \"win_p99_us\": "
+         << util::strf("%.2f", r.window.p99_nanos / 1e3)
+         << ", \"digest\": \"" << hex64(r.digest)
+         << "\", \"answers_sum_ok\": "
+         << (r.answers_sum_ok ? "true" : "false") << "}"
+         << (i + 1 < sharded_rows.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n"
+       << "  \"tracing_row\": {\"qps\": "
+       << util::strf("%.0f", tracing_sharded_qps)
+       << ", \"slowlog_entries\": " << slowlog_entries
+       << ", \"slowlog_span_entries\": " << slowlog_span_entries
+       << ", \"spans_recorded\": " << tracing_spans << "},\n"
+       << "  \"open_loop\": [\n";
+  for (std::size_t i = 0; i < open_loop_rows.size(); ++i) {
+    const OpenLoopRow& r = open_loop_rows[i];
+    json << "    {\"offered_qps\": " << util::strf("%.0f", r.offered_qps)
+         << ", \"achieved_qps\": " << util::strf("%.0f", r.achieved_qps)
+         << ", \"p50_us\": " << util::strf("%.2f", r.p50_us)
+         << ", \"p99_us\": " << util::strf("%.2f", r.p99_us) << "}"
+         << (i + 1 < open_loop_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"network\": {\"qps\": " << util::strf("%.0f", net_row.qps)
+       << ", \"p50_us\": " << util::strf("%.2f", net_row.p50_us)
+       << ", \"p99_us\": " << util::strf("%.2f", net_row.p99_us)
+       << ", \"frames\": " << net_row.frames << ", \"digest_ok\": "
+       << (net_ok ? "true" : "false") << "},\n"
+       << "  \"windowed\": " << windowed_json << ",\n"
        << "  \"slowlog\": " << slowlog_json << ",\n"
        << "  \"answers_level_sum\": {\"answers_total\": " << answers_sum
        << ", \"queries_total\": " << answers_queries << ", \"equal\": "
@@ -371,5 +900,5 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << json.str();
   std::printf("\nwrote %s\n", out_path.c_str());
-  return 0;
+  return exit_code;
 }

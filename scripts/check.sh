@@ -20,6 +20,11 @@
 #            vs the machine default, exits non-zero if any thread count
 #            changes the label digest (catches scheduling regressions that
 #            break the byte-identical-labels guarantee)
+#   smoke    localhost serving round-trip: query_server --serve on an
+#            ephemeral port driven by bench_service --loadgen --verify, so
+#            the epoll front-end + wire codec + sharded engine answer real
+#            socket traffic with digest-checked results
+#            (scripts/serve_smoke.sh)
 #   tsa      Clang Thread Safety Analysis: clang++ build with -Wthread-safety
 #            -Werror=thread-safety-analysis over the PATHSEP_GUARDED_BY /
 #            PATHSEP_REQUIRES annotations (util/thread_annotations.hpp) —
@@ -40,7 +45,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 STEPS=("$@")
-[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan obsoff tsa bench lint tidy)
+[ ${#STEPS[@]} -eq 0 ] && STEPS=(release asan tsan obsoff tsa bench smoke lint tidy)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -92,6 +97,13 @@ fi
 if want bench; then
   banner "bench: bench_build --quick determinism smoke (digests across threads)"
   scripts/bench_build.sh --quick
+fi
+
+if want smoke; then
+  banner "smoke: query_server --serve / bench_service --loadgen round-trip"
+  cmake --preset release
+  cmake --build build --target query_server bench_service -j "$JOBS"
+  scripts/serve_smoke.sh
 fi
 
 if want lint; then

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Localhost round-trip smoke for the network serving path: start
+# examples/query_server --serve on an ephemeral port, drive it with
+# `bench_service --loadgen` over the length-prefixed binary protocol, and
+# require the answer digest to match a locally built oracle (--verify).
+# Exercises the epoll front-end, the frame codec, and the sharded engine end
+# to end. Environment: BUILD (binary dir, default build), SIDE (grid side,
+# default 40), QUERIES (default 20000).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+SIDE=${SIDE:-40}
+QUERIES=${QUERIES:-20000}
+
+server="$BUILD/examples/query_server"
+loadgen="$BUILD/bench/bench_service"
+if [ ! -x "$server" ] || [ ! -x "$loadgen" ]; then
+  echo "serve_smoke: build the query_server and bench_service targets first" >&2
+  exit 1
+fi
+
+log=$(mktemp)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -f "$log"
+}
+trap cleanup EXIT
+
+# --serve-duration is a watchdog, not the test length: the loadgen finishes
+# in well under a second and the trap kills the server immediately after.
+"$server" --side="$SIDE" --serve=0 --serve-duration=120 >"$log" 2>&1 &
+server_pid=$!
+
+# The server prints (and flushes) "listening on 127.0.0.1:PORT" once bound;
+# poll the log for the ephemeral port instead of racing the bind.
+port=""
+for _ in $(seq 1 300); do
+  port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")
+  [ -n "$port" ] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "serve_smoke: server exited before listening" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "serve_smoke: server never reported a listening port" >&2
+  cat "$log" >&2
+  exit 1
+fi
+
+"$loadgen" --loadgen --connect="127.0.0.1:$port" --side="$SIDE" \
+  --queries="$QUERIES" --verify
+
+echo "serve_smoke: OK (port $port, $QUERIES queries digest-verified)"

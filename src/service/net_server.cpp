@@ -1,0 +1,333 @@
+#include "service/net_server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "service/net.hpp"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define PATHSEP_HAVE_EPOLL 1
+#endif
+
+namespace pathsep::service {
+
+/// Per-connection state, owned by the event-loop thread.
+struct NetServer::Conn {
+  int fd = -1;
+  bool want_epollout = false;  ///< EPOLLOUT currently armed for this fd
+  bool peer_eof = false;       ///< read side closed; flush then tear down
+  std::vector<std::uint8_t> in;   ///< unparsed request bytes
+  std::vector<std::uint8_t> out;  ///< encoded responses awaiting the socket
+  // Reused per frame so steady-state serving does not allocate.
+  std::vector<Query> queries;
+  std::vector<graph::Weight> answers;
+};
+
+#if PATHSEP_HAVE_EPOLL
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+NetServer::NetServer(ShardedEngine& engine, NetServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::start() {
+  if (running_.load(std::memory_order_acquire))
+    throw std::runtime_error("NetServer already running");
+  stop_requested_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("bind/listen failed: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  stop_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  epoll_fd_ = ::epoll_create1(0);
+  if (stop_fd_ < 0 || epoll_fd_ < 0) {
+    stop();
+    throw std::runtime_error("eventfd/epoll_create1 failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = stop_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stop_fd_, &ev);
+
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void NetServer::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (stop_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(stop_fd_, &one, sizeof(one));
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_.store(false, std::memory_order_release);
+  for (int* fd : {&listen_fd_, &stop_fd_, &epoll_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  conns_.clear();
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NetServer::update_epollout(Conn& conn) {
+  const bool want = !conn.out.empty();
+  if (want == conn.want_epollout) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.want_epollout = want;
+}
+
+bool NetServer::flush_conn(Conn& conn) {
+  std::size_t sent = 0;
+  while (sent < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + sent, conn.out.size() - sent,
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone / hard error
+  }
+  conn.out.erase(conn.out.begin(),
+                 conn.out.begin() + static_cast<std::ptrdiff_t>(sent));
+  return true;
+}
+
+bool NetServer::service_conn(Conn& conn) {
+  // Drain the socket into the intake buffer.
+  for (;;) {
+    std::uint8_t chunk[16 * 1024];
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.in.insert(conn.in.end(), chunk, chunk + n);
+      bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      continue;
+    }
+    if (n == 0) {
+      conn.peer_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  // Answer every complete frame already buffered (also the ones that raced
+  // in just before EOF).
+  std::size_t offset = 0;
+  for (;;) {
+    wire::ParsedRequest request;
+    const wire::ParseStatus status =
+        wire::parse_request(conn.in, offset, request, conn.queries);
+    if (status == wire::ParseStatus::kIncomplete) break;
+    if (status == wire::ParseStatus::kMalformed) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    offset += request.frame_bytes;
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    queries_answered_.fetch_add(conn.queries.size(),
+                                std::memory_order_relaxed);
+    conn.answers.resize(conn.queries.size());
+    engine_.query_batch_into(conn.queries, conn.answers.data());
+    wire::append_response(conn.out, request.request_id, conn.answers);
+  }
+  conn.in.erase(conn.in.begin(),
+                conn.in.begin() + static_cast<std::ptrdiff_t>(offset));
+
+  if (!flush_conn(conn)) return false;
+  if (conn.peer_eof && conn.out.empty()) return false;  // clean teardown
+  update_epollout(conn);
+  return true;
+}
+
+void NetServer::close_conn(int fd) {
+  for (std::unique_ptr<Conn>& conn : conns_) {
+    if (conn && conn->fd == fd) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      ::close(fd);
+      conn.reset();
+      connections_closed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void NetServer::loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+
+  auto find_conn = [this](int fd) -> Conn* {
+    for (std::unique_ptr<Conn>& conn : conns_)
+      if (conn && conn->fd == fd) return conn.get();
+    return nullptr;
+  };
+  auto pending_output = [this] {
+    for (const std::unique_ptr<Conn>& conn : conns_)
+      if (conn && !conn->out.empty()) return true;
+    return false;
+  };
+
+  for (;;) {
+    if (!draining && stop_requested_.load(std::memory_order_acquire)) {
+      // Graceful shutdown: stop accepting, give buffered responses a bounded
+      // window to flush, then tear everything down.
+      draining = true;
+      drain_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    }
+    if (draining &&
+        (!pending_output() ||
+         std::chrono::steady_clock::now() >= drain_deadline)) {
+      for (std::unique_ptr<Conn>& conn : conns_) {
+        if (!conn) continue;
+        ::close(conn->fd);
+        connections_closed_.fetch_add(1, std::memory_order_relaxed);
+        conn.reset();
+      }
+      return;
+    }
+
+    const int timeout_ms = draining ? 50 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == stop_fd_) {
+        std::uint64_t drained;
+        [[maybe_unused]] ssize_t r =
+            ::read(stop_fd_, &drained, sizeof(drained));
+        continue;  // stop_requested_ is checked at the loop head
+      }
+      if (fd == listen_fd_) {
+        for (;;) {
+          const int client = ::accept(listen_fd_, nullptr, nullptr);
+          if (client < 0) break;  // EAGAIN / transient — retry on next event
+          set_nonblocking(client);
+          int one = 1;
+          ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          auto conn = std::make_unique<Conn>();
+          conn->fd = client;
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = client;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, client, &ev);
+          connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+          // Reuse a freed table slot before growing the table.
+          bool placed = false;
+          for (std::unique_ptr<Conn>& slot : conns_) {
+            if (!slot) {
+              slot = std::move(conn);
+              placed = true;
+              break;
+            }
+          }
+          if (!placed) conns_.push_back(std::move(conn));
+        }
+        continue;
+      }
+      Conn* conn = find_conn(fd);
+      if (conn == nullptr) continue;  // already closed this wakeup
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        close_conn(fd);
+        continue;
+      }
+      if (!service_conn(*conn)) close_conn(fd);
+    }
+  }
+}
+
+#else  // !PATHSEP_HAVE_EPOLL
+
+NetServer::NetServer(ShardedEngine& engine, NetServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+NetServer::~NetServer() = default;
+void NetServer::start() {
+  throw std::runtime_error("NetServer requires Linux epoll");
+}
+void NetServer::stop() {}
+NetServer::Stats NetServer::stats() const { return {}; }
+void NetServer::loop() {}
+bool NetServer::service_conn(Conn&) { return false; }
+bool NetServer::flush_conn(Conn&) { return false; }
+void NetServer::close_conn(int) {}
+void NetServer::update_epollout(Conn&) {}
+
+#endif  // PATHSEP_HAVE_EPOLL
+
+}  // namespace pathsep::service

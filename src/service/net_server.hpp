@@ -1,0 +1,109 @@
+// Epoll-based network front-end for the sharded query engine.
+//
+// One event-loop thread owns the listening socket, an eventfd used as the
+// stop wakeup, and every connection. Connections are nonblocking; reads
+// append to a per-connection intake buffer, complete frames (see
+// service/net.hpp for the wire format) are decoded and answered
+// synchronously through ShardedEngine::query_batch_into — the loop is the
+// producer, the shard workers are the parallelism — and responses append to
+// a per-connection write buffer flushed opportunistically, with EPOLLOUT
+// armed only while a partial write is outstanding.
+//
+// Graceful shutdown: stop() writes the eventfd; the loop stops accepting,
+// answers every complete frame already buffered, flushes pending responses
+// for up to ~2 seconds, then closes everything and exits. A malformed frame
+// closes only the offending connection (counted in protocol_errors).
+//
+// Linux-only (epoll + eventfd): on other platforms start() throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/sharded_engine.hpp"
+
+namespace pathsep::service {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port from port() after start().
+  std::uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+};
+
+class NetServer {
+ public:
+  /// The engine must outlive the server.
+  NetServer(ShardedEngine& engine, NetServerOptions options = {});
+
+  /// stop()s if still running.
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and spawns the event-loop thread. Throws
+  /// std::runtime_error on failure (port in use, unsupported platform, ...).
+  void start();
+
+  /// Requests shutdown and joins the loop thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound port (valid after start(); resolves an ephemeral request).
+  std::uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t queries_answered = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn;
+
+  void loop();
+  /// Drains readable bytes, answers complete frames, flushes what it can.
+  /// Returns false when the connection should be torn down.
+  bool service_conn(Conn& conn);
+  bool flush_conn(Conn& conn);
+  void close_conn(int fd);
+  void update_epollout(Conn& conn);
+
+  ShardedEngine& engine_;
+  NetServerOptions options_;
+  std::uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int stop_fd_ = -1;  ///< eventfd the stop() side writes to wake the loop
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  // Connection table keyed by fd; touched only by the loop thread.
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  // Counters are written by the loop thread, read by stats() callers.
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> queries_answered_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+};
+
+}  // namespace pathsep::service

@@ -1,123 +1,38 @@
-// pathsep-lint: hot-path — answer_one sits under every served query; the
-// cache/oracle/metrics it touches are preallocated at engine construction.
+// pathsep-lint: hot-path — query_batch sits under every served batch; the
+// serving state it touches is preallocated at engine construction.
 #include "service/query_engine.hpp"
 
-#include <atomic>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
-#include "util/timer.hpp"
 
 namespace pathsep::service {
 
 QueryEngine::QueryEngine(std::shared_ptr<const oracle::PathOracle> snapshot,
                          QueryEngineOptions options)
     : options_(options),
+      inline_cutoff_(options.inline_cutoff != 0
+                         ? options.inline_cutoff
+                         : options.batch_chunk + options.batch_chunk / 2),
       snapshot_(std::move(snapshot)),
       cache_(options.cache_capacity, options.cache_shards),
-      queries_total_(&metrics_.counter("queries_total")),
-      cache_hits_(&metrics_.counter("cache_hits")),
-      cache_misses_(&metrics_.counter("cache_misses")),
       batches_total_(&metrics_.counter("batches_total")),
-      latency_(&metrics_.histogram("query_latency_ns")),
       snapshot_vertices_(&metrics_.gauge("snapshot_vertices")),
-      answers_cached_(
-          &metrics_.counter("answers_total", {{"level", "cached"}})),
-      answers_self_(&metrics_.counter("answers_total", {{"level", "self"}})),
-      answers_unreachable_(
-          &metrics_.counter("answers_total", {{"level", "unreachable"}})),
-      window_(options.window_interval_ns, options.window_slots),
-      slowlog_(options.slowlog_capacity, options.slowlog_stripes),
+      path_(metrics_, cache_,
+            snapshot_ ? snapshot_->num_levels() : std::size_t{1},
+            AnswerPathOptions{options.slowlog_capacity,
+                              options.slowlog_stripes,
+                              options.window_interval_ns,
+                              options.window_slots}),
       pool_(options.threads) {
   if (!snapshot_) throw std::invalid_argument("null oracle snapshot");
   snapshot_vertices_->set(
       static_cast<std::int64_t>(snapshot_->num_vertices()));
-  // One counter per decomposition level of the serving snapshot (at least
-  // one, so the clamped fallback always exists). Registry references are
-  // stable, so the hot path indexes this vector without any lookup.
-  const std::size_t levels = std::max<std::size_t>(1, snapshot_->num_levels());
-  answers_level_.reserve(levels);
-  for (std::size_t level = 0; level < levels; ++level)
-    answers_level_.push_back(
-        &metrics_.counter("answers_total", {{"level", std::to_string(level)}}));
-}
-
-graph::Weight QueryEngine::answer_one(const oracle::PathOracle& oracle,
-                                      graph::Vertex u, graph::Vertex v) {
-  // Two clock reads bracket the query — the same pair the latency histogram
-  // always paid. t1 doubles as the windowed sample's timestamp and the pair
-  // as the exemplar span's bounds, so the tail-attribution layer adds no
-  // clock read of its own.
-  const std::uint64_t t0 = obs::window_now_ns();
-  graph::Weight result;
-  oracle::QueryStats stats;
-  bool cached = false;
-  if (cache_.capacity() == 0) {
-    // Cache disabled: skip even the empty-shard lookup; every query is a
-    // miss so hits + misses == queries_total still holds.
-    cache_misses_->inc();
-    result = oracle.query_stats(u, v, stats);
-  } else {
-    const std::uint64_t key = ResultCache::key(u, v);
-    if (const std::optional<graph::Weight> hit = cache_.get(key)) {
-      cache_hits_->inc();
-      result = *hit;
-      cached = true;
-    } else {
-      cache_misses_->inc();
-      result = oracle.query_stats(u, v, stats);
-      cache_.put(key, result);
-    }
-  }
-  queries_total_->inc();
-
-  // Exactly one "answers_total" instance per query, so the family sums to
-  // queries_total (the invariant the exporter tests pin down).
-  obs::SlowQuery::Outcome outcome;
-  if (cached) {
-    answers_cached_->inc();
-    outcome = obs::SlowQuery::Outcome::kCached;
-  } else if (u == v) {
-    answers_self_->inc();
-    outcome = obs::SlowQuery::Outcome::kSelf;
-  } else if (result == graph::kInfiniteWeight) {
-    answers_unreachable_->inc();
-    outcome = obs::SlowQuery::Outcome::kUnreachable;
-  } else {
-    const std::size_t level = std::min(
-        answers_level_.size() - 1,
-        static_cast<std::size_t>(std::max<std::int32_t>(0, stats.win_level)));
-    answers_level_[level]->inc();
-    outcome = obs::SlowQuery::Outcome::kOracle;
-  }
-
-  const std::uint64_t t1 = obs::window_now_ns();
-  const std::uint64_t elapsed = t1 - t0;
-  latency_->record(elapsed);
-  window_.record(elapsed, t1);
-  // Tail check is one relaxed load; only queries slow enough to enter the
-  // log pay the stripe lock (and, when tracing, materialize their exemplar
-  // span — tail-based sampling, see obs::commit_span).
-  if (elapsed >= slowlog_.admission_floor()) {
-    obs::SlowQuery slow;
-    slow.u = u;
-    slow.v = v;
-    slow.latency_ns = elapsed;
-    slow.when_ns = t1;
-    slow.entries_scanned = stats.entries_scanned;
-    slow.win_node = stats.win_node;
-    slow.win_level = stats.win_level;
-    slow.outcome = outcome;
-    PATHSEP_OBS_ONLY(
-        slow.span_id = obs::commit_span("service.slow_query", t0, t1);)
-    slowlog_.record(slow);
-  }
-  return result;
 }
 
 graph::Weight QueryEngine::query(graph::Vertex u, graph::Vertex v) {
   const std::shared_ptr<const oracle::PathOracle> snap = snapshot();
-  return answer_one(*snap, u, v);
+  return path_.answer(*snap, u, v);
 }
 
 std::vector<graph::Weight> QueryEngine::query_batch(
@@ -130,12 +45,14 @@ std::vector<graph::Weight> QueryEngine::query_batch(
 
   const std::size_t chunk = std::max<std::size_t>(1, options_.batch_chunk);
   const std::size_t num_chunks = (queries.size() + chunk - 1) / chunk;
-  // A single-chunk batch, or a pool that could not run chunks in parallel
-  // anyway, is answered inline: handing work to one worker while this
-  // thread blocks would only add dispatch latency.
-  if (num_chunks == 1 || pool_.num_threads() <= 1) {
-    for (std::size_t i = 0; i < queries.size(); ++i)
-      results[i] = answer_one(*snap, queries[i].u, queries[i].v);
+  // Adaptive inline fast path: below the cutoff (or on a pool that could
+  // not run chunks in parallel anyway) the batch is answered back-to-back
+  // on this thread with chained timestamps — handing sub-microsecond
+  // queries to a worker while this thread blocks only adds dispatch
+  // latency (the old pooled-slower-than-serial regression).
+  if (num_chunks == 1 || queries.size() <= inline_cutoff_ ||
+      pool_.num_threads() <= 1) {
+    path_.answer_chunk(*snap, queries.data(), results.data(), queries.size());
     return results;
   }
 
@@ -153,8 +70,8 @@ std::vector<graph::Weight> QueryEngine::query_batch(
                   &remaining, begin, end
                   PATHSEP_OBS_ONLY(, batch_span)] {
       PATHSEP_OBS_ONLY(obs::SpanParentGuard trace_parent(batch_span);)
-      for (std::size_t i = begin; i < end; ++i)
-        results[i] = answer_one(*snap, queries[i].u, queries[i].v);
+      path_.answer_chunk(*snap, queries.data() + begin, results.data() + begin,
+                         end - begin);
       util::LockGuard lock(done_mutex);
       if (--remaining == 0) done_cv.notify_all();
     });

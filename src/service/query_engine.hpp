@@ -1,19 +1,26 @@
-// Concurrent batched distance-query engine — the serving front-end over an
-// immutable PathOracle snapshot.
+// Concurrent batched distance-query engine — the pooled serving front-end
+// over an immutable PathOracle snapshot.
 //
 // The engine composes the service primitives: a persistent ThreadPool for
 // dispatch, a sharded LRU ResultCache keyed on the canonical symmetric pair,
-// and a MetricsRegistry recording totals and a latency histogram on every
-// query path. Queries never mutate the oracle, so a snapshot is shared
-// read-only across all workers; replace_snapshot() swaps in a new oracle
-// atomically (in-flight batches finish against the snapshot they pinned).
+// and the shared AnswerPath (metrics, windowed latency, slow-log, per-level
+// attribution) on every query. Queries never mutate the oracle, so a
+// snapshot is shared read-only across all workers; replace_snapshot() swaps
+// in a new oracle atomically (in-flight batches finish against the snapshot
+// they pinned). For shard-per-core serving with lock-free intake and
+// epoch-based snapshot hot-swap, see service/sharded_engine.hpp — this
+// engine remains the portable fallback and the baseline the bench compares
+// against.
 //
 // Two entry points:
 //   query(u, v)        — synchronous, served on the caller's thread.
-//   query_batch(span)  — splits the batch into contiguous chunks and fans
-//                        them out to the pool; one condition-variable wait
-//                        amortized over the whole batch instead of a
-//                        synchronization per query.
+//   query_batch(span)  — batches at or below the adaptive inline cutoff are
+//                        answered on the caller's thread with chained
+//                        timestamps (dispatch would cost more than it
+//                        buys on sub-microsecond queries); larger batches
+//                        split into contiguous chunks fanned out to the
+//                        pool, one condition-variable wait amortized over
+//                        the whole batch.
 #pragma once
 
 #include <cstddef>
@@ -21,9 +28,8 @@
 #include <span>
 #include <vector>
 
-#include "obs/slowlog.hpp"
-#include "obs/window.hpp"
 #include "oracle/path_oracle.hpp"
+#include "service/answer_path.hpp"
 #include "service/metrics.hpp"
 #include "service/result_cache.hpp"
 #include "service/thread_pool.hpp"
@@ -41,20 +47,18 @@ struct QueryEngineOptions {
   /// Queries per pooled task: one chunk is answered back-to-back by one
   /// worker, keeping its label accesses hot and bounding dispatch overhead
   /// to ceil(batch / chunk) queue operations.
-  std::size_t batch_chunk = 256;
-  /// Slowest-query exemplars retained (0 disables the slow-log and its
-  /// admission check entirely).
+  std::size_t batch_chunk = 512;
+  /// Batches at or below this size skip the pool entirely and run inline on
+  /// the caller's thread: on sub-microsecond label-merge queries, the
+  /// submit/wake/wait round-trip costs more than the parallelism returns
+  /// until a batch spans several chunks. 0 = adaptive default
+  /// (1.5 x batch_chunk, i.e. "inline unless at least two full chunks").
+  std::size_t inline_cutoff = 0;
+  /// Tail-attribution knobs, forwarded to the shared AnswerPath.
   std::size_t slowlog_capacity = 64;
   std::size_t slowlog_stripes = 8;
-  /// Sliding-window latency view: window width and ring size (the rolling
-  /// qps / tail percentiles cover up to window_slots * interval).
   std::uint64_t window_interval_ns = 1'000'000'000;
   std::size_t window_slots = 8;
-};
-
-struct Query {
-  graph::Vertex u = 0;
-  graph::Vertex v = 0;
 };
 
 class QueryEngine {
@@ -65,9 +69,9 @@ class QueryEngine {
   /// (1+eps)-approximate distance through cache + metrics, on this thread.
   graph::Weight query(graph::Vertex u, graph::Vertex v);
 
-  /// Answers queries[i] into result[i], fanning chunks out to the pool.
-  /// Blocks until the whole batch is answered. Safe to call from many
-  /// client threads concurrently.
+  /// Answers queries[i] into result[i]; inline below the cutoff, fanned out
+  /// to the pool above it. Blocks until the whole batch is answered. Safe
+  /// to call from many client threads concurrently.
   std::vector<graph::Weight> query_batch(std::span<const Query> queries);
 
   /// Current snapshot (never null).
@@ -84,44 +88,32 @@ class QueryEngine {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   std::size_t num_threads() const { return pool_.num_threads(); }
+  /// The effective inline cutoff (resolves the adaptive 0 default).
+  std::size_t inline_cutoff() const { return inline_cutoff_; }
 
   /// Rolling latency view (windowed qps / p50 / p95 / p99).
-  const obs::WindowedHistogram& window() const { return window_; }
+  const obs::WindowedHistogram& window() const { return path_.window(); }
   /// The K slowest queries served so far, with cost attribution.
-  const obs::SlowLog& slowlog() const { return slowlog_; }
+  const obs::SlowLog& slowlog() const { return path_.slowlog(); }
   /// Per-level answer counters, index = decomposition level (deeper levels
   /// clamp into the last slot). Together with the cached / self /
   /// unreachable instances of the same "answers_total" family, these sum
   /// exactly to queries_total.
-  std::size_t num_level_counters() const { return answers_level_.size(); }
+  std::size_t num_level_counters() const {
+    return path_.num_level_counters();
+  }
 
  private:
-  graph::Weight answer_one(const oracle::PathOracle& oracle, graph::Vertex u,
-                           graph::Vertex v);
-
   QueryEngineOptions options_;
+  std::size_t inline_cutoff_ = 0;
   mutable util::Mutex snapshot_mutex_;
   std::shared_ptr<const oracle::PathOracle> snapshot_
       PATHSEP_GUARDED_BY(snapshot_mutex_);
   ResultCache cache_;
   MetricsRegistry metrics_;
-  // Resolved once so the hot path records without registry map lookups.
-  Counter* queries_total_;
-  Counter* cache_hits_;
-  Counter* cache_misses_;
   Counter* batches_total_;
-  LatencyHistogram* latency_;
   Gauge* snapshot_vertices_;  ///< vertex count of the serving snapshot
-  /// "answers_total" family: one counter per decomposition level of the
-  /// construction-time snapshot ({"level","N"}), plus the non-oracle
-  /// outcomes ({"level","cached"|"self"|"unreachable"}). Sized once at
-  /// construction; a deeper replacement snapshot clamps into the last level.
-  std::vector<Counter*> answers_level_;
-  Counter* answers_cached_;
-  Counter* answers_self_;
-  Counter* answers_unreachable_;
-  obs::WindowedHistogram window_;
-  obs::SlowLog slowlog_;
+  AnswerPath path_;  ///< after cache_/metrics_: it resolves counters in them
   ThreadPool pool_;  ///< last member: workers die before state they touch
 };
 

@@ -1,0 +1,20 @@
+// Core-affinity helper for shard-per-core serving: each shard worker pins
+// itself to one core so its slice of the label store stays in that core's
+// cache and the scheduler never migrates it mid-drain. Best effort —
+// returns false (and the caller serves unpinned) on platforms without an
+// affinity API or when the mask syscall is denied (containers often
+// restrict it). No state, no locks.
+#pragma once
+
+#include <cstddef>
+
+namespace pathsep::util {
+
+/// Pins the calling thread to `core` modulo the online core count.
+/// Returns true iff the affinity mask was applied.
+bool pin_thread_to_core(std::size_t core);
+
+/// Online cores visible to this process (>= 1).
+std::size_t num_cores();
+
+}  // namespace pathsep::util

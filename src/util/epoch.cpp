@@ -1,0 +1,111 @@
+#include "util/epoch.hpp"
+
+#include <thread>
+
+#include "check/check.hpp"
+
+namespace pathsep::util {
+
+EpochReclaimer::EpochReclaimer(std::size_t reserved, std::size_t shared)
+    : num_slots_(reserved + shared), reserved_(reserved) {
+  PATHSEP_ASSERT(shared > 0, "EpochReclaimer needs at least one shared slot");
+  slots_ = std::make_unique<Slot[]>(num_slots_);
+}
+
+EpochReclaimer::~EpochReclaimer() {
+  // Callers quiesce readers before destruction; destroy whatever is left
+  // regardless of stale pins (a pinned slot here would be a leaked guard).
+  LockGuard lock(retired_mutex_);
+  for (RetiredEntry& entry : retired_) entry.destroy();
+  retired_.clear();
+}
+
+std::uint64_t EpochReclaimer::pin(std::size_t slot) {
+  PATHSEP_DCHECK(slot < reserved_, "pin() is for owner-assigned slots");
+  std::atomic<std::uint64_t>& cell = slots_[slot].epoch;
+  for (;;) {
+    const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    cell.store(e, std::memory_order_seq_cst);
+    // E1: if the global epoch advanced while we were publishing, our pin
+    // may be too old to be seen by the concurrent retire's min_pinned scan;
+    // republish against the newer epoch. Terminates because swaps are rare
+    // and each iteration observes a strictly newer epoch.
+    if (epoch_.load(std::memory_order_seq_cst) == e) return e;
+  }
+}
+
+void EpochReclaimer::unpin(std::size_t slot) {
+  PATHSEP_DCHECK(slot < num_slots_, "unpin: slot out of range");
+  slots_[slot].epoch.store(0, std::memory_order_release);
+}
+
+std::size_t EpochReclaimer::pin_any() {
+  for (;;) {
+    for (std::size_t slot = reserved_; slot < num_slots_; ++slot) {
+      std::atomic<std::uint64_t>& cell = slots_[slot].epoch;
+      if (cell.load(std::memory_order_relaxed) != 0) continue;
+      const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      std::uint64_t expected = 0;
+      if (!cell.compare_exchange_strong(expected, e,
+                                        std::memory_order_seq_cst))
+        continue;  // another claimer won this slot
+      // Same republish loop as pin() (E1); the slot is now ours, so plain
+      // stores suffice for the retries.
+      std::uint64_t pinned = e;
+      while (epoch_.load(std::memory_order_seq_cst) != pinned) {
+        pinned = epoch_.load(std::memory_order_seq_cst);
+        cell.store(pinned, std::memory_order_seq_cst);
+      }
+      return slot;
+    }
+    std::this_thread::yield();  // every shared slot busy; wait for an unpin
+  }
+}
+
+void EpochReclaimer::retire(std::function<void()> destroy) {
+  // Advancing the epoch *after* the caller unpublished the object (stored
+  // the new live pointer) is what makes E1 work: readers pinned at an epoch
+  // greater than `retired_under` provably loaded the new pointer.
+  const std::uint64_t retired_under =
+      epoch_.fetch_add(1, std::memory_order_seq_cst);
+  LockGuard lock(retired_mutex_);
+  retired_.push_back(RetiredEntry{retired_under, std::move(destroy)});
+}
+
+std::size_t EpochReclaimer::try_reclaim() {
+  // Collect the destroyable entries under the lock, run them outside it
+  // (a destructor may be arbitrarily heavy — a whole oracle).
+  std::vector<RetiredEntry> ready;
+  {
+    const std::uint64_t min_pin = min_pinned();
+    LockGuard lock(retired_mutex_);
+    std::size_t keep = 0;
+    for (RetiredEntry& entry : retired_) {
+      // E3: a reader pinned at epoch e can hold objects retired at any
+      // epoch >= e; an entry is safe once every pin is strictly newer.
+      if (entry.epoch < min_pin)
+        ready.push_back(std::move(entry));
+      else
+        retired_[keep++] = std::move(entry);
+    }
+    retired_.resize(keep);
+  }
+  for (RetiredEntry& entry : ready) entry.destroy();
+  return ready.size();
+}
+
+std::size_t EpochReclaimer::retired_pending() const {
+  LockGuard lock(retired_mutex_);
+  return retired_.size();
+}
+
+std::uint64_t EpochReclaimer::min_pinned() const {
+  std::uint64_t min_pin = UINT64_MAX;
+  for (std::size_t slot = 0; slot < num_slots_; ++slot) {
+    const std::uint64_t e = slots_[slot].epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min_pin) min_pin = e;
+  }
+  return min_pin;
+}
+
+}  // namespace pathsep::util

@@ -1,0 +1,124 @@
+// Epoch-based reclamation for read-mostly hot-swapped state (the serving
+// snapshot). Readers pin the current epoch in a private slot on entry to a
+// read region and clear it on exit — two relaxed-cost atomic stores, no
+// lock, no shared-counter contention (each slot is written by one thread at
+// a time). A writer that retires an object first advances the global epoch,
+// then records the object with the epoch it was retired under; the object
+// is destroyed only once every pinned slot has observed a later epoch
+// (equivalently: once every reader that could have seen the old pointer has
+// exited its read region).
+//
+// Lock-free invariants of the pin/unpin fast path (the retire/reclaim slow
+// path is mutex-guarded and annotated normally):
+//   E1  pin(slot) publishes the slot's epoch with seq_cst and re-reads the
+//       global epoch afterwards, looping until both agree. Consequence: by
+//       the time pin returns with epoch e, every retire with epoch < e
+//       strictly preceded the pin — the reader cannot reach objects retired
+//       before e, because the swap that retired them replaced the live
+//       pointer before advancing the epoch.
+//   E2  A slot holds 0 iff unpinned; epochs start at 1 so 0 is never a
+//       valid pin value.
+//   E3  try_reclaim destroys an entry retired at epoch r only when every
+//       pinned slot holds an epoch > r. Unpinned slots do not constrain
+//       reclamation.
+//
+// The global epoch is a plain counter the tests can step manually — there is
+// no wall clock anywhere in the scheme, so "no object is freed while pinned"
+// is provable with a deterministic unit test (tests/test_sharded_service.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace pathsep::util {
+
+class EpochReclaimer {
+ public:
+  /// The first `reserved` slots are owner-assigned: each belongs to exactly
+  /// one thread (a shard worker), which pins it with a plain store via
+  /// pin(slot). The further `shared` slots form the pool pin_any() claims
+  /// from with a CAS — the two ranges are disjoint so an owner's store can
+  /// never collide with a claimer.
+  explicit EpochReclaimer(std::size_t reserved, std::size_t shared = 16);
+
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  /// Destroys everything still retired (callers must have quiesced).
+  ~EpochReclaimer();
+
+  /// Pins `slot` (an owner-assigned index below `reserved`, exclusive to
+  /// the calling thread until unpin) at the current epoch; returns the
+  /// epoch pinned.
+  std::uint64_t pin(std::size_t slot);
+
+  void unpin(std::size_t slot);
+
+  /// Claims any free shared slot with a CAS, pins it, and returns its index
+  /// for unpin(). Spins when every shared slot is busy — sized generously
+  /// so that never happens in practice.
+  std::size_t pin_any();
+
+  /// Hands `destroy` to the reclaimer: it runs once every reader that could
+  /// hold the retired object has unpinned. Advances the global epoch.
+  void retire(std::function<void()> destroy) PATHSEP_EXCLUDES(retired_mutex_);
+
+  /// Destroys every retired entry whose epoch is below the minimum pinned
+  /// epoch (all of them when nothing is pinned); returns how many ran.
+  /// Never blocks on readers.
+  std::size_t try_reclaim() PATHSEP_EXCLUDES(retired_mutex_);
+
+  /// Entries retired but not yet destroyed.
+  std::size_t retired_pending() const PATHSEP_EXCLUDES(retired_mutex_);
+
+  std::uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Minimum epoch across pinned slots; UINT64_MAX when nothing is pinned.
+  std::uint64_t min_pinned() const;
+
+  std::size_t num_slots() const { return num_slots_; }
+
+ private:
+  struct RetiredEntry {
+    std::uint64_t epoch = 0;  ///< epoch the object was retired under
+    std::function<void()> destroy;
+  };
+
+  std::atomic<std::uint64_t> epoch_{1};  ///< 0 reserved for "unpinned" (E2)
+  std::size_t num_slots_ = 0;
+  std::size_t reserved_ = 0;  ///< owner-assigned slots below this index
+  /// One cache line per slot: a pin never invalidates a neighbor's line.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};
+  };
+  std::unique_ptr<Slot[]> slots_;
+
+  mutable Mutex retired_mutex_;
+  std::vector<RetiredEntry> retired_ PATHSEP_GUARDED_BY(retired_mutex_);
+};
+
+/// RAII pin over a shared slot (pin_any / unpin).
+class EpochPin {
+ public:
+  explicit EpochPin(EpochReclaimer& epochs)
+      : epochs_(epochs), slot_(epochs.pin_any()) {}
+  ~EpochPin() { epochs_.unpin(slot_); }
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+  std::size_t slot() const { return slot_; }
+
+ private:
+  EpochReclaimer& epochs_;
+  std::size_t slot_;
+};
+
+}  // namespace pathsep::util

@@ -1,0 +1,145 @@
+// pathsep-lint: hot-path — try_push/pop_batch sit under every sharded query;
+// the slot array is the only allocation and it happens once, in the
+// constructor.
+//
+// Bounded lock-free multi-producer queue (Vyukov's bounded MPMC algorithm,
+// used here with a single consumer per ring — one serving shard worker).
+// Producers claim a slot with one compare-exchange on the tail cursor and
+// publish the payload with a release store of the slot's sequence number;
+// the consumer drains in batches with plain loads plus one release store per
+// slot to recycle it. No mutex, no condition variable, no allocation on
+// either path.
+//
+// Lock-free invariants (no mutex to annotate — documented instead):
+//   I1  A slot's `seq` equals its index + k*capacity iff the slot is empty
+//       and awaiting the k-th lap's producer; it equals index + k*capacity
+//       + 1 iff the k-th lap's payload is published and unconsumed. The
+//       release store of `seq` in try_push is therefore the *only* publish
+//       point: a consumer that observes seq == pos + 1 (acquire) also
+//       observes the payload written before it.
+//   I2  `tail_` only grows, and a producer writes a slot only after winning
+//       the CAS that moves tail_ past it — two producers can never hold the
+//       same slot.
+//   I3  `head_` is modified by the single consumer only; pop_batch reloads
+//       each slot's seq before reading it, so a not-yet-published slot ends
+//       the batch instead of tearing.
+//   I4  Failure of try_push (ring full) is detected from the slot lap, not
+//       from head_, so producers never read the consumer's cursor — the
+//       full check costs the same acquire load the success path pays.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "check/check.hpp"
+
+namespace pathsep::util {
+
+/// Bounded lock-free MPSC ring. T must be trivially copyable (payloads are
+/// POD request descriptors). Capacity is rounded up to a power of two.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    // pathsep-lint: allow(hot-path-alloc)
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Enqueues `item`; returns false when the ring is full (the caller falls
+  /// back to answering inline — backpressure, never blocking).
+  bool try_push(const T& item) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        // Slot is empty for this lap; claim it by advancing the tail.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.item = item;
+          slot.seq.store(pos + 1, std::memory_order_release);  // publish (I1)
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry against the new tail.
+      } else if (diff < 0) {
+        return false;  // previous lap not consumed yet: full (I4)
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the race; reload
+      }
+    }
+  }
+
+  /// Dequeues up to `max` items into `out`; single consumer only. Returns
+  /// the number dequeued (0 when the ring is empty or the next slot is not
+  /// yet published).
+  std::size_t pop_batch(T* out, std::size_t max) {
+    std::size_t taken = 0;
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    while (taken < max) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq != pos + 1) break;  // not yet published (I3)
+      out[taken++] = slot.item;
+      // Recycle for the next lap's producer.
+      slot.seq.store(pos + capacity_, std::memory_order_release);
+      ++pos;
+    }
+    if (taken != 0) head_.store(pos, std::memory_order_relaxed);
+    return taken;
+  }
+
+  /// Approximate occupancy (racy by design; metrics/backpressure hints only).
+  std::size_t size_approx() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Deep invariant audit (quiescent state only: no concurrent producers or
+  /// consumer). Checks the cursor relationship and every slot's lap tag.
+  void audit() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    PATHSEP_ASSERT(head <= tail, "MpscRing: consumer cursor passed producer");
+    PATHSEP_ASSERT(tail - head <= capacity_, "MpscRing: occupancy > capacity");
+    for (std::uint64_t pos = head; pos < tail; ++pos) {
+      const std::uint64_t seq =
+          slots_[pos & mask_].seq.load(std::memory_order_acquire);
+      PATHSEP_ASSERT(seq == pos + 1,
+                     "MpscRing: occupied slot without published sequence");
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T item{};
+  };
+
+  // Producers and the consumer touch disjoint cursors; keep them on
+  // separate cache lines so enqueue traffic never invalidates the
+  // consumer's line (and vice versa).
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next producer slot
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next consumer slot
+  alignas(64) std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace pathsep::util
